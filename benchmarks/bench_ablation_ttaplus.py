@@ -1,0 +1,64 @@
+"""Ablation: TTA+ design knobs the paper defers to future work.
+
+§V-A/§V-C2 call out three open knobs: the number of parallel OP units
+("strategically reducing the number of parallel operation units"),
+the interconnect cost, and prefetching ([16]).  This bench sweeps all
+three on the B-Tree workload.
+"""
+
+from repro.core.ttaplus import make_ttaplus_factory
+from repro.gpu import GPU
+from repro.core.ttaplus.opunits import OP_UNIT_LATENCIES
+from repro.harness.results import Table
+from repro.harness.runner import run_btree, scaled_config_for
+from repro.kernels.btree_search import btree_accel_kernel
+from repro.workloads import make_btree_workload
+
+SIZES = {"smoke": (2048, 2048), "small": (16384, 8192),
+         "large": (65536, 16384)}
+
+
+def _run(wl, cfg, **knobs):
+    gpu = GPU(cfg, accelerator_factory=make_ttaplus_factory(**knobs))
+    args = wl.kernel_args(jobs=wl.jobs("ttaplus"))
+    return gpu.launch(btree_accel_kernel, wl.n_queries, args=args)
+
+
+def test_ablation_ttaplus(benchmark, scale, save_table):
+    n_keys, n_queries = SIZES.get(scale, SIZES["small"])
+
+    def build():
+        wl = make_btree_workload("btree", n_keys, n_queries, seed=1)
+        cfg = scaled_config_for(wl.image.size_bytes)
+        base_gpu = run_btree(wl, "gpu", config=cfg)
+        table = Table(
+            "Ablation — TTA+ OP-unit sets, interconnect, prefetch (B-Tree)",
+            ["knob", "value", "cycles", "speedup_vs_gpu"],
+        )
+        for sets in (1, 2, 4):
+            copies = {unit: sets for unit in OP_UNIT_LATENCIES}
+            stats = _run(wl, cfg, copies=copies)
+            table.add_row("op_unit_sets", sets, stats.cycles,
+                          base_gpu.cycles / stats.cycles)
+        for label, knobs in (("default", {}),
+                             ("perfect_icnt", {"perfect_icnt": True})):
+            stats = _run(wl, cfg, **knobs)
+            table.add_row("interconnect", label, stats.cycles,
+                          base_gpu.cycles / stats.cycles)
+        for depth in (0, 1, 2):
+            stats = _run(wl, cfg, prefetch_depth=depth)
+            table.add_row("prefetch_depth", depth, stats.cycles,
+                          base_gpu.cycles / stats.cycles)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table("ablation_ttaplus", table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # More OP-unit sets never hurt; fewer sets cost at most moderately.
+    assert rows[("op_unit_sets", 4)][2] <= rows[("op_unit_sets", 1)][2]
+    # A free interconnect helps (bounds the ICNT share of Fig. 18).
+    assert rows[("interconnect", "perfect_icnt")][2] <= \
+        rows[("interconnect", "default")][2]
+    # Prefetching node fetches hides memory latency.
+    assert rows[("prefetch_depth", 1)][2] <= \
+        rows[("prefetch_depth", 0)][2] * 1.02

@@ -1,0 +1,50 @@
+"""Extension study: R-Tree range queries and k-d tree kNN on TTA.
+
+Neither structure appears in the paper's evaluation, but both are named
+in its introduction as target domains; this bench demonstrates the
+§II-C generality claim — the Query-Key and Point-to-Point operations
+cover them without further hardware changes.
+"""
+
+from repro.harness.results import Table
+from repro.harness.runner import run_knn, run_rtree, scaled_config_for
+from repro.workloads import make_knn_workload, make_rtree_workload
+
+SIZES = {"smoke": (1024, 256), "small": (8192, 1024), "large": (16384, 2048)}
+
+
+def test_ext_spatial(benchmark, scale, save_table):
+    n_items, n_queries = SIZES.get(scale, SIZES["small"])
+
+    def build():
+        table = Table(
+            "Extension — spatial indexes on TTA/TTA+ (speedup vs GPU)",
+            ["workload", "tta", "ttaplus", "simt_eff(gpu)", "dram(gpu)",
+             "dram(tta)"],
+        )
+        rt = make_rtree_workload(n_rects=n_items, n_queries=n_queries,
+                                 seed=7)
+        cfg = scaled_config_for(rt.image.size_bytes)
+        base = run_rtree(rt, "gpu", config=cfg)
+        tta = run_rtree(rt, "tta", config=cfg)
+        tp = run_rtree(rt, "ttaplus", config=cfg)
+        table.add_row("rtree-range", tta.speedup_over(base),
+                      tp.speedup_over(base), base.simt_efficiency,
+                      base.dram_utilization, tta.dram_utilization)
+
+        knn = make_knn_workload(n_points=n_items, n_queries=n_queries,
+                                k=8, seed=8)
+        cfg = scaled_config_for(knn.image.size_bytes)
+        base = run_knn(knn, "gpu", config=cfg)
+        tta = run_knn(knn, "tta", config=cfg)
+        tp = run_knn(knn, "ttaplus", config=cfg)
+        table.add_row("kdtree-knn", tta.speedup_over(base),
+                      tp.speedup_over(base), base.simt_efficiency,
+                      base.dram_utilization, tta.dram_utilization)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table("ext_spatial", table)
+    for row in table.rows:
+        assert row[1] > 1.0, f"{row[0]}: TTA did not win"
+        assert row[5] > row[4], f"{row[0]}: no DRAM utilization gain"

@@ -1,0 +1,16 @@
+"""Fig. 1 — SIMT efficiency and DRAM bandwidth utilization."""
+
+from repro.harness import experiments
+
+
+def test_fig01_motivation(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig01_motivation(scale), rounds=1, iterations=1)
+    save_table("fig01_motivation", table)
+    # Shape: the accelerated configuration must raise DRAM utilization for
+    # every workload (Fig. 1's right-hand bars).
+    for row in table.rows:
+        assert row[5] > row[3], f"{row[0]}: TTA did not raise DRAM util"
+    # Tree searches are divergent; N-Body's warp-voting walk is not.
+    simt = dict(zip(table.column("workload"), table.column("simt_eff(gpu)")))
+    assert simt["btree"] < 0.8 < simt["nbody3d"]

@@ -1,0 +1,14 @@
+"""Fig. 6 — roofline placement of the tree-traversal workloads."""
+
+from repro.harness import experiments
+
+
+def test_fig06_roofline(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig06_roofline(scale), rounds=1, iterations=1)
+    save_table("fig06_roofline", table)
+    # Fig. 6's point: every tree-traversal workload sits far below both
+    # roofs (under-utilized bandwidth, limited data reuse).
+    for row in table.rows:
+        name, intensity, achieved, peak, bw_roof, bound = row
+        assert achieved < 0.5 * peak, f"{name} too close to compute roof"

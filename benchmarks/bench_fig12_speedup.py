@@ -1,0 +1,28 @@
+"""Fig. 12 — end-to-end speedups of TTA/TTA+ over the baselines."""
+
+import math
+
+from repro.harness import experiments
+
+
+def test_fig12_speedup(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig12_speedup(scale), rounds=1, iterations=1)
+    save_table("fig12_speedup", table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # Every B-Tree-family configuration must beat the baseline on TTA.
+    for (name, cfg), row in rows.items():
+        if name in ("btree", "bstar", "bplus"):
+            assert row[2] > 1.0, f"{name} {cfg}: TTA slower than baseline"
+            assert row[3] > 0.9, f"{name} {cfg}: TTA+ collapsed"
+    # N-Body lands in the paper's 1.1-1.7x band (with slack for scale).
+    for name in ("nbody2d", "nbody3d"):
+        speedups = [r[2] for (n, _c), r in rows.items() if n == name]
+        assert all(0.9 < s < 4.0 for s in speedups), f"{name}: {speedups}"
+    # RTNN: TTA speeds up over RTA; the naive TTA+ port slows down; the
+    # *RTNN optimization recovers.
+    assert rows[("rtnn(tta)", f"{experiments.params(scale)['rtnn'][0]}pts")][2] > 1.0
+    naive = rows[("rtnn(naive)", f"{experiments.params(scale)['rtnn'][0]}pts")][2]
+    opt = rows[("*rtnn", f"{experiments.params(scale)['rtnn'][0]}pts")][2]
+    assert naive < 1.05
+    assert opt > naive

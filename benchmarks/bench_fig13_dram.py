@@ -1,0 +1,17 @@
+"""Fig. 13 — DRAM bandwidth utilization across platforms."""
+
+import math
+
+from repro.harness import experiments
+
+
+def test_fig13_dram(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig13_dram(scale), rounds=1, iterations=1)
+    save_table("fig13_dram", table)
+    for row in table.rows:
+        name, gpu, rta, tta, ttaplus = row
+        # The accelerators exploit more of the DRAM bandwidth than the
+        # baseline GPU (Fig. 13's core observation).
+        assert tta > gpu, f"{name}: TTA util {tta} <= GPU {gpu}"
+        assert ttaplus > gpu * 0.8, f"{name}: TTA+ util collapsed"

@@ -1,0 +1,25 @@
+"""Fig. 14 — TTA sensitivity to warp-buffer size and intersection latency."""
+
+from repro.harness import experiments
+
+
+def test_fig14_sensitivity(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig14_sensitivity(scale), rounds=1, iterations=1)
+    save_table("fig14_sensitivity", table)
+    for variant in ("btree", "bstar", "bplus"):
+        warp_rows = [r for r in table.rows
+                     if r[0] == variant and r[1] == "warp_buffer"]
+        by_warps = {r[2]: r[3] for r in warp_rows}
+        # More warp-buffer entries -> more concurrency -> faster, with
+        # saturation (paper: at 8 warps).
+        assert by_warps[4] > by_warps[1], f"{variant}: no warp-buffer gain"
+        assert by_warps[16] >= by_warps[8] * 0.85, \
+            f"{variant}: regression past saturation"
+        lat_rows = {r[2]: r[3] for r in table.rows
+                    if r[0] == variant and r[1] == "isect_latency"}
+        # Intersection latency is a second-order knob: even 10x latency
+        # keeps a healthy speedup (paper: 2.25x/2.45x at 10x).
+        assert lat_rows["10x(130cy)"] > 1.0, f"{variant}: 10x latency broke TTA"
+        ratio = lat_rows["minmax-only(3cy)"] / lat_rows["10x(130cy)"]
+        assert ratio < 2.5, f"{variant}: latency dominates, unlike Fig. 14"

@@ -1,0 +1,19 @@
+"""Fig. 15 — TTA intersection-unit concurrency (average vs peak)."""
+
+from repro.harness import experiments
+
+
+def test_fig15_unit_util(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig15_unit_util(scale), rounds=1, iterations=1)
+    save_table("fig15_unit_util", table)
+    for row in table.rows:
+        name, unit, avg, peak = row
+        # Fig. 15's observation: node processing is bursty — peak
+        # concurrency far exceeds the average.
+        assert peak >= 1
+        assert avg < peak, f"{name}/{unit}: no burstiness"
+    # RTNN repurposes the previously idle Ray-Triangle datapath for
+    # distance tests: its point_dist row must show real occupancy.
+    rtnn_rows = [r for r in table.rows if r[0] == "rtnn"]
+    assert any(r[1] == "point_dist" and r[3] > 0 for r in rtnn_rows)

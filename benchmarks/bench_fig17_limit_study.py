@@ -1,0 +1,19 @@
+"""Fig. 17 — limit study: perfect RT fetches / perfect memory on WKND_PT."""
+
+from repro.harness import experiments
+
+
+def test_fig17_limit_study(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig17_limit_study(scale), rounds=1, iterations=1)
+    save_table("fig17_limit_study", table)
+    rows = {r[0]: r for r in table.rows}
+    base_naive, base_opt = rows["TTA+"][1], rows["TTA+"][2]
+    # Architectural improvements compound with the TTA+ optimization:
+    # both perfect-RT and perfect-memory lift both configurations.
+    for cfg in ("Perf. RT (zero-latency node fetch)",
+                "Perf. Mem (zero-latency memory)"):
+        assert rows[cfg][1] > base_naive, f"{cfg} did not help WKND_PT"
+        assert rows[cfg][2] > base_opt, f"{cfg} did not help *WKND_PT"
+        # The optimization stays beneficial under each limit (orthogonal).
+        assert rows[cfg][2] > rows[cfg][1]

@@ -1,0 +1,26 @@
+"""Fig. 18 — TTA+ OP-unit utilization and per-test intersection latency."""
+
+from repro.harness import experiments
+
+
+def test_fig18_opunits(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig18_opunits(scale), rounds=1, iterations=1)
+    save_table("fig18_opunits", table)
+    latencies = {(r[0], r[2]): r[3] for r in table.rows if r[1] == "latency"}
+    utils = [(r[0], r[2], r[3]) for r in table.rows if r[1] == "util"]
+    # Fig. 18 bottom: the µop Ray-Box is several times the 13-cycle
+    # fixed-function latency (paper measures ~10x under load).
+    raybox = [v for (wl, name), v in latencies.items() if name == "raybox"]
+    assert raybox and all(v > 3 * 13 for v in raybox)
+    # Short programs stay short: B-Tree leaf (3 µops) well under Ray-Box.
+    if ("btree", "btree_leaf") in latencies:
+        assert latencies[("btree", "btree_leaf")] < min(raybox)
+    # Fig. 18 top: no unit saturates ("no significant bottlenecks").
+    for wl, unit, util in utils:
+        assert util < 0.95, f"{wl}/{unit} saturated at {util}"
+    # Different applications exercise different units.
+    used_by = {}
+    for wl, unit, util in utils:
+        used_by.setdefault(wl, set()).add(unit)
+    assert used_by.get("btree", set()) != used_by.get("nbody3d", set())

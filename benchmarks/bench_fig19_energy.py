@@ -1,0 +1,23 @@
+"""Fig. 19 — end-to-end energy, normalized to the baseline (BASE)."""
+
+from repro.harness import experiments
+
+
+def test_fig19_energy(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig19_energy(scale), rounds=1, iterations=1)
+    save_table("fig19_energy", table)
+    by_key = {(r[0], r[1]): r for r in table.rows}
+    # B-Tree family: TTA and TTA+ save energy vs BASE (paper: 15-62%).
+    for variant in ("btree", "bstar", "bplus"):
+        for platform in ("tta", "ttaplus"):
+            total = by_key[(variant, platform)][5]
+            assert total < 0.95, f"{variant}/{platform}: no energy saving"
+            assert total > 0.10, f"{variant}/{platform}: implausible saving"
+    # The intersection-unit bucket is small relative to the savings
+    # (§V-C3: "intersection energy is generally insignificant").
+    for (name, platform), row in by_key.items():
+        if platform in ("tta", "ttaplus"):
+            assert row[4] < 0.5
+    # *RTNN keeps net savings despite µop energy (paper: 19-29%).
+    assert by_key[("rtnn", "*rtnn")][5] < 1.0

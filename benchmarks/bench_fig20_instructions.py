@@ -1,0 +1,23 @@
+"""Fig. 20 — dynamic instruction breakdown: 91% eliminated by offload."""
+
+from repro.harness import experiments
+
+
+def test_fig20_instructions(benchmark, scale, save_table):
+    table = benchmark.pedantic(
+        lambda: experiments.fig20_instructions(scale), rounds=1, iterations=1)
+    save_table("fig20_instructions", table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+    mean_reduction = [r for r in table.rows
+                      if r[0] == "mean reduction (tta)"][0][7]
+    # Paper: a single TTA instruction replaces the traversal loop,
+    # eliminating ~91% of dynamic instructions on average.
+    assert mean_reduction > 0.80, f"only {mean_reduction:.0%} eliminated"
+    for name in ("btree", "bstar", "bplus", "nbody3d"):
+        tta_row = rows[(name, "tta")]
+        # TTA instructions are a tiny share of the baseline total
+        # (paper: ~2%).
+        assert tta_row[6] < 0.05, f"{name}: TTA insts {tta_row[6]:.2%}"
+        # The baseline's instruction mix is dominated by ALU + control.
+        base = rows[(name, "gpu")]
+        assert base[2] + base[3] > base[5], f"{name}: mem-dominated baseline"

@@ -1,0 +1,25 @@
+"""Table I — TTA+ OP unit inventory and latencies."""
+
+from repro.core.ttaplus import OP_UNIT_LATENCIES
+from repro.core.ttaplus.uop import UNIT_TYPES
+from repro.harness.results import Table
+
+PAPER_TABLE1 = {
+    "vec3_addsub": 4, "mul": 4, "rcp": 4, "cross": 5, "dot": 5,
+    "vec3_cmp": 1, "minmax": 1, "maxmin": 1, "logical": 1, "sqrt": 11,
+    "rxform": 4,
+}
+
+
+def test_table1_opunits(benchmark, save_table):
+    def build():
+        table = Table("Table I — OP units in TTA+",
+                      ["unit", "latency(model)", "latency(paper)"])
+        for unit in UNIT_TYPES:
+            table.add_row(unit, OP_UNIT_LATENCIES[unit], PAPER_TABLE1[unit])
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table("table1_opunits", table)
+    for row in table.rows:
+        assert row[1] == row[2], f"{row[0]}: latency mismatch"

@@ -1,0 +1,42 @@
+"""Table III — µop counts per intersection test, regenerated from the
+registered programs (the same objects the TTA+ timing model executes)."""
+
+from repro.core.ttaplus.programs import PROGRAMS
+from repro.harness.results import Table
+
+# (program, paper total, paper per-unit histogram)
+PAPER_TABLE3 = {
+    "btree_inner": (12, {"minmax": 3, "maxmin": 3, "vec3_cmp": 3,
+                         "logical": 3}),
+    "btree_leaf": (3, {"vec3_cmp": 3}),
+    "nbody_inner": (3, {"vec3_addsub": 1, "dot": 1, "vec3_cmp": 1}),
+    "nbody_leaf": (5, {"mul": 3, "sqrt": 1, "rxform": 1}),
+    "raybox": (19, {"vec3_addsub": 2, "mul": 6, "rcp": 3, "minmax": 3,
+                    "maxmin": 3, "vec3_cmp": 1, "logical": 1}),
+    "rtnn_leaf": (5, {"vec3_addsub": 1, "mul": 1, "dot": 1, "vec3_cmp": 1,
+                      "logical": 1}),
+    "raysphere": (18, {"vec3_addsub": 5, "mul": 5, "sqrt": 1, "rcp": 1,
+                       "dot": 3, "vec3_cmp": 2, "logical": 1}),
+    "raytri": (17, {"vec3_addsub": 3, "mul": 3, "rcp": 1, "cross": 2,
+                    "dot": 4, "vec3_cmp": 2, "logical": 2}),
+}
+
+
+def test_table3_uops(benchmark, save_table):
+    def build():
+        table = Table(
+            "Table III — µops per intersection test",
+            ["program", "total(model)", "total(paper)", "unit_histogram"],
+        )
+        for name, (total, histogram) in sorted(PAPER_TABLE3.items()):
+            program = PROGRAMS[name]
+            table.add_row(name, len(program), total,
+                          str(program.unit_counts()))
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table("table3_uops", table)
+    for name, (total, histogram) in PAPER_TABLE3.items():
+        program = PROGRAMS[name]
+        assert len(program) == total, f"{name}: µop count"
+        assert program.unit_counts() == histogram, f"{name}: unit mix"

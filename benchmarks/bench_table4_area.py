@@ -1,0 +1,38 @@
+"""Table IV — area of baseline RTA vs TTA+ (and TTA's Ray-Box delta)."""
+
+import pytest
+
+from repro.energy import (
+    baseline_rta_area_um2,
+    tta_area_report,
+    ttaplus_area_report,
+)
+from repro.energy.area import tta_ray_box_overhead_pct
+from repro.harness.results import Table
+
+
+def test_table4_area(benchmark, save_table):
+    def build():
+        table = Table(
+            "Table IV — area comparison (µm², FreePDK45)",
+            ["configuration", "total_um2", "vs_baseline_pct", "paper_pct"],
+        )
+        table.add_row("baseline RTA (one set)", baseline_rta_area_um2(),
+                      0.0, 0.0)
+        no_sqrt = ttaplus_area_report(with_sqrt=False)
+        table.add_row("TTA+ without SQRT", no_sqrt.total_um2,
+                      no_sqrt.vs_baseline_pct, -10.8)
+        with_sqrt = ttaplus_area_report(with_sqrt=True)
+        table.add_row("TTA+ with SQRT", with_sqrt.total_um2,
+                      with_sqrt.vs_baseline_pct, 36.4)
+        tta = tta_area_report()
+        table.add_row("TTA (modified Ray-Box)", tta.total_um2,
+                      tta.vs_baseline_pct, "<1")
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table("table4_area", table)
+    assert table.rows[1][2] == pytest.approx(-10.8, abs=0.1)
+    assert table.rows[2][2] == pytest.approx(36.4, abs=0.1)
+    assert 0 < table.rows[3][2] < 1.0          # "<1% area overhead"
+    assert tta_ray_box_overhead_pct() == pytest.approx(1.8, abs=0.05)

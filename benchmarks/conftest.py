@@ -1,0 +1,40 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Each benchmark regenerates one paper figure or table at the scale given
+by ``REPRO_SCALE`` (smoke/small/large, default "small"), prints the
+resulting table next to the paper's reported values, and appends it to
+``benchmarks/results/`` as CSV for EXPERIMENTS.md.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, table):
+        print()
+        print(table.format())
+        (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv())
+        return table
+
+    return _save
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _shared_run_cache():
+    """Workload runs are cached across benches within one session."""
+    from repro.harness import experiments
+    yield
+    experiments.clear_cache()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Database index acceleration: B-Tree vs B*Tree vs B+Tree on TTA.
+
+The workload the paper's introduction motivates: point queries against
+a database index.  Sweeps the three index variants and two
+key-vs-query regimes, printing per-platform cycles, speedups, SIMT
+efficiency and DRAM utilization — the quantities behind Figs. 1/12/13.
+
+Run:  python examples/database_index.py
+"""
+
+from repro.harness.results import Table
+from repro.harness.runner import run_btree, scaled_config_for
+from repro.workloads import make_btree_workload
+
+SWEEP = [
+    # (variant, n_keys, n_queries) — queries>keys favors TTA most (§V-A)
+    ("btree", 4_096, 16_384),
+    ("btree", 65_536, 8_192),
+    ("bstar", 65_536, 8_192),
+    ("bplus", 65_536, 8_192),
+]
+
+
+def main() -> None:
+    table = Table(
+        "Database index point queries: baseline GPU vs TTA vs TTA+",
+        ["index", "keys", "queries", "gpu_cycles", "tta_speedup",
+         "ttaplus_speedup", "simt_eff(gpu)", "dram(gpu)", "dram(tta)"],
+    )
+    for variant, n_keys, n_queries in SWEEP:
+        wl = make_btree_workload(variant, n_keys, n_queries, seed=7)
+        cfg = scaled_config_for(wl.image.size_bytes)
+        base = run_btree(wl, "gpu", config=cfg)
+        tta = run_btree(wl, "tta", config=cfg)
+        plus = run_btree(wl, "ttaplus", config=cfg)
+        table.add_row(variant, n_keys, n_queries, base.cycles,
+                      tta.speedup_over(base), plus.speedup_over(base),
+                      base.simt_efficiency, base.dram_utilization,
+                      tta.dram_utilization)
+    print(table.format())
+    print()
+    print("Notes: B+Tree gains least (uniform leaf depth = least")
+    print("divergence to eliminate); speedups grow when queries")
+    print("outnumber keys, as reported in §V-A.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Spatial indexing beyond the paper: R-Tree ranges and k-d tree kNN.
+
+The paper's introduction motivates TTA with database and spatial
+indexing at large; this example runs two structures the paper does not
+evaluate — R-Tree range queries over clustered map data and k-nearest-
+neighbor search over a LiDAR-like cloud — on the same accelerators,
+demonstrating that the Query-Key and Point-to-Point operations cover
+them without further hardware changes.
+
+Run:  python examples/spatial_queries.py
+"""
+
+from repro.harness.results import Table
+from repro.harness.runner import (
+    run_knn,
+    run_rtree,
+    scaled_config_for,
+)
+from repro.workloads import make_knn_workload, make_rtree_workload
+
+
+def main() -> None:
+    table = Table(
+        "Spatial queries on TTA / TTA+ (speedup over baseline GPU)",
+        ["workload", "queries", "gpu_cycles", "tta", "ttaplus",
+         "simt_eff(gpu)"],
+    )
+
+    rtree = make_rtree_workload(n_rects=8192, n_queries=1024, seed=7)
+    mean_hits = sum(len(rtree.golden(w)) for w in rtree.windows[:64]) / 64
+    cfg = scaled_config_for(rtree.image.size_bytes)
+    base = run_rtree(rtree, "gpu", config=cfg)
+    tta = run_rtree(rtree, "tta", config=cfg)
+    plus = run_rtree(rtree, "ttaplus", config=cfg)
+    table.add_row("rtree-range", rtree.n_queries, base.cycles,
+                  tta.speedup_over(base), plus.speedup_over(base),
+                  base.simt_efficiency)
+    print(f"R-Tree: {len(rtree.entries)} rects, height "
+          f"{rtree.tree.height()}, ~{mean_hits:.1f} results/window")
+
+    knn = make_knn_workload(n_points=8192, n_queries=1024, k=8, seed=8)
+    cfg = scaled_config_for(knn.image.size_bytes)
+    base = run_knn(knn, "gpu", config=cfg)
+    tta = run_knn(knn, "tta", config=cfg)
+    plus = run_knn(knn, "ttaplus", config=cfg)
+    table.add_row("kdtree-knn8", knn.n_queries, base.cycles,
+                  tta.speedup_over(base), plus.speedup_over(base),
+                  base.simt_efficiency)
+    print(f"k-d tree: {len(knn.tree.points)} points, depth "
+          f"{knn.tree.depth()}")
+    print()
+    print(table.format())
+
+
+if __name__ == "__main__":
+    main()

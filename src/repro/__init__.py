@@ -1,0 +1,14 @@
+"""repro — behavioral reproduction of "Generalizing Ray Tracing
+Accelerators for Tree Traversals on GPUs" (MICRO 2024).
+
+Public entry points:
+
+* :mod:`repro.core` — the TTA/TTA+ programming model and hardware models.
+* :mod:`repro.workloads` — workload generators with golden references.
+* :mod:`repro.harness` — per-figure experiments and platform runners.
+* ``python -m repro`` — command-line experiment runner.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

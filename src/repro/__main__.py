@@ -1,0 +1,114 @@
+"""Command-line experiment runner: ``python -m repro``.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig12
+    python -m repro run fig12 fig13 --scale large --csv-dir results/
+    python -m repro run all --scale smoke
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness import experiments
+
+EXPERIMENTS = {
+    "fig01": experiments.fig01_motivation,
+    "fig06": experiments.fig06_roofline,
+    "fig12": experiments.fig12_speedup,
+    "fig13": experiments.fig13_dram,
+    "fig14": experiments.fig14_sensitivity,
+    "fig15": experiments.fig15_unit_util,
+    "fig16": experiments.fig16_lumibench,
+    "fig17": experiments.fig17_limit_study,
+    "fig18": experiments.fig18_opunits,
+    "fig19": experiments.fig19_energy,
+    "fig20": experiments.fig20_instructions,
+    "nbody_fusion": experiments.nbody_fusion,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures on the behavioral "
+                    "TTA/TTA+ simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment names (or 'all')")
+    run.add_argument("--scale", default="small",
+                     choices=sorted(experiments.SCALES),
+                     help="workload scale (default: small)")
+    run.add_argument("--csv-dir", type=pathlib.Path, default=None,
+                     help="also write each table as CSV into this directory")
+    run.add_argument("--plot", action="store_true",
+                     help="render ASCII bar charts after each table")
+    return parser
+
+
+DESCRIPTIONS = {
+    "fig01": "SIMT efficiency and DRAM bandwidth utilization (motivation)",
+    "fig06": "roofline placement of tree-traversal workloads",
+    "fig12": "speedups of TTA/TTA+ over the baselines",
+    "fig13": "DRAM bandwidth utilization per platform",
+    "fig14": "TTA sensitivity: warp buffer size, intersection latency",
+    "fig15": "TTA intersection-unit concurrency (avg/peak)",
+    "fig16": "LumiBench + WKND_PT on TTA+ vs baseline RTA",
+    "fig17": "WKND_PT limit study (perfect RT / perfect memory)",
+    "fig18": "TTA+ OP-unit utilization and intersection latency",
+    "fig19": "energy normalized to the baseline GPU",
+    "fig20": "dynamic instruction breakdown (91% eliminated)",
+    "nbody_fusion": "N-Body kernel-fusion optimization (§V-A)",
+}
+
+
+def cmd_list() -> int:
+    for name in sorted(EXPERIMENTS):
+        print(f"{name:14s} {DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def cmd_run(names, scale: str, csv_dir, plot: bool = False) -> int:
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.time()
+        table = EXPERIMENTS[name](scale)
+        print(table.format())
+        print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]")
+        print()
+        if plot:
+            from repro.harness.plots import auto_plots
+            for chart in auto_plots(name, table):
+                print(chart)
+                print()
+        if csv_dir is not None:
+            (csv_dir / f"{name}.csv").write_text(table.to_csv())
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.experiments, args.scale, args.csv_dir,
+                   plot=getattr(args, "plot", False))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

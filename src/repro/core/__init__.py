@@ -1,0 +1,29 @@
+"""The paper's contribution: TTA and TTA+ on top of the RTA substrate.
+
+* :mod:`~repro.core.layouts` — programmer-defined ray/node data layouts
+  (the ``DecodeR``/``DecodeI``/``DecodeL`` configuration state).
+* :mod:`~repro.core.querykey` — the 9-wide Query-Key comparison built
+  from the Ray-Box unit's min/max network (Figs. 8-9, Algorithm 1).
+* :mod:`~repro.core.pointdist` — the Point-to-Point distance datapath
+  added to the Ray-Triangle unit (Algorithm 2).
+* :mod:`~repro.core.api` — the Vulkan-style programming model of
+  Listing 1 (``TTAPipeline``, ``config_i``/``config_l``,
+  ``config_terminate``, ``traverse_tree_tta``).
+* :mod:`~repro.core.ttaplus` — the modular TTA+ design: Table I OP
+  units, the 16x16 crossbar, and µop intersection-test programs.
+"""
+
+from repro.core.api import TTAPipeline, traverse_tree_tta
+from repro.core.layouts import DataLayout, Field
+from repro.core.pointdist import PointDistanceUnit
+from repro.core.querykey import QueryKeyComparator, QueryKeyResult
+
+__all__ = [
+    "TTAPipeline",
+    "traverse_tree_tta",
+    "DataLayout",
+    "Field",
+    "QueryKeyComparator",
+    "QueryKeyResult",
+    "PointDistanceUnit",
+]

@@ -1,0 +1,227 @@
+"""The TTA / TTA+ programming model (Listing 1).
+
+The paper replaces Vulkan's ``traceRayEXT`` / ``vkCmdTraceRaysKHR`` with
+``traverseTreeTTA`` / ``vkCmdTraverseTree`` and adds configuration calls
+for data layouts (``DecodeR``/``DecodeI``/``DecodeL``), intersection
+tests (``ConfigI``/``ConfigL``) and the termination condition
+(``ConfigTerminate``).  :class:`TTAPipeline` is that configuration
+state; :func:`traverse_tree_tta` is the launch.
+
+Example (B-Tree search, compare with Listing 1)::
+
+    pipeline = TTAPipeline(flavor="tta")
+    pipeline.decode_r(btree_query_layout())
+    pipeline.decode_i(btree_node_layout())
+    pipeline.decode_l(btree_node_layout())
+    pipeline.config_i("query_key")
+    pipeline.config_l("query_key")
+    pipeline.config_terminate("ray", offset=4, dtype="u32",
+                              program="leaf", pc=2)
+    stats = traverse_tree_tta(pipeline, kernel, n_threads, args)
+"""
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.core.layouts import DataLayout
+from repro.core.ttaplus.programs import (
+    PROGRAMS,
+    UopProgram,
+    register_program,
+)
+from repro.gpu.config import DEFAULT_CONFIG, GPUConfig
+from repro.gpu.device import GPU, KernelStats
+
+#: operations a TTA's fixed-function (modified) units can run
+TTA_FIXED_OPS = ("box", "tri", "xform", "query_key", "point_dist")
+
+
+@dataclass
+class TerminateCondition:
+    """ConfigTerminate state: which field to check at which program PC."""
+
+    source: str        # "ray" | "inner" | "leaf"
+    offset: int        # byte offset of the checked field
+    dtype: str         # "float" | "u32"
+    program: str       # "inner" | "leaf"
+    pc: int            # µop PC at which the check fires
+
+
+class TTAPipeline:
+    """Accumulates Listing 1's configuration calls and validates them."""
+
+    def __init__(self, flavor: str = "tta"):
+        if flavor not in ("tta", "ttaplus"):
+            raise ConfigurationError(
+                f"flavor must be 'tta' or 'ttaplus', got {flavor!r}"
+            )
+        self.flavor = flavor
+        self.ray_layout: Optional[DataLayout] = None
+        self.inner_layout: Optional[DataLayout] = None
+        self.leaf_layout: Optional[DataLayout] = None
+        self._inner_op: Optional[str] = None
+        self._leaf_op: Optional[str] = None
+        self.terminate: Optional[TerminateCondition] = None
+
+    # -- DecodeR / DecodeI / DecodeL ------------------------------------------
+    def decode_r(self, layout: Union[DataLayout, Sequence[int]]) -> None:
+        self.ray_layout = self._coerce(layout, "ray")
+
+    def decode_i(self, layout: Union[DataLayout, Sequence[int]]) -> None:
+        self.inner_layout = self._coerce(layout, "inner_node")
+
+    def decode_l(self, layout: Union[DataLayout, Sequence[int]]) -> None:
+        self.leaf_layout = self._coerce(layout, "leaf_node")
+
+    @staticmethod
+    def _coerce(layout, name: str) -> DataLayout:
+        if isinstance(layout, DataLayout):
+            return layout
+        return DataLayout.from_sizes(list(layout), name=name)
+
+    # -- ConfigI / ConfigL -----------------------------------------------------
+    def config_i(self, test: Union[str, UopProgram]) -> None:
+        self._inner_op = self._coerce_test(test)
+
+    def config_l(self, test: Union[str, UopProgram]) -> None:
+        self._leaf_op = self._coerce_test(test)
+
+    def _coerce_test(self, test: Union[str, UopProgram]) -> str:
+        if self.flavor == "tta":
+            if not isinstance(test, str) or test not in TTA_FIXED_OPS:
+                raise ConfigurationError(
+                    f"TTA intersection tests must be one of {TTA_FIXED_OPS}; "
+                    f"got {test!r}. Use flavor='ttaplus' for custom programs."
+                )
+            return test
+        if isinstance(test, UopProgram):
+            if test.name not in PROGRAMS:
+                register_program(test)
+            return f"uop:{test.name}"
+        if isinstance(test, str):
+            name = test[4:] if test.startswith("uop:") else test
+            if name not in PROGRAMS:
+                raise ConfigurationError(
+                    f"unknown µop program {name!r}; register it first"
+                )
+            return f"uop:{name}"
+        raise ConfigurationError(f"bad intersection test {test!r}")
+
+    # -- ConfigTerminate ---------------------------------------------------------
+    def config_terminate(self, source: str, offset: int, dtype: str,
+                         program: str, pc: int) -> None:
+        if source not in ("ray", "inner", "leaf"):
+            raise ConfigurationError(f"bad terminate source {source!r}")
+        if program not in ("inner", "leaf"):
+            raise ConfigurationError(f"bad terminate program {program!r}")
+        layout = {"ray": self.ray_layout, "inner": self.inner_layout,
+                  "leaf": self.leaf_layout}[source]
+        if layout is None:
+            raise ConfigurationError(
+                f"configure the {source} layout before ConfigTerminate"
+            )
+        layout.field_at(offset)  # raises if no field starts there
+        self.terminate = TerminateCondition(source, offset, dtype, program, pc)
+
+    # -- validation & launch --------------------------------------------------------
+    @property
+    def inner_op(self) -> str:
+        self.validate()
+        return self._inner_op
+
+    @property
+    def leaf_op(self) -> str:
+        self.validate()
+        return self._leaf_op
+
+    def validate(self) -> None:
+        missing = [name for name, value in [
+            ("DecodeR", self.ray_layout),
+            ("DecodeI", self.inner_layout),
+            ("DecodeL", self.leaf_layout),
+            ("ConfigI", self._inner_op),
+            ("ConfigL", self._leaf_op),
+        ] if value is None]
+        if missing:
+            raise ConfigurationError(
+                f"pipeline incomplete; missing {', '.join(missing)}"
+            )
+
+    def accelerator_factory(self, **knobs):
+        """Build the GPU accelerator factory matching this pipeline."""
+        self.validate()
+        if self.flavor == "tta":
+            from repro.rta.rta import make_rta_factory
+            return make_rta_factory(tta=True, **knobs)
+        from repro.core.ttaplus.ttaplus import make_ttaplus_factory
+        return make_ttaplus_factory(**knobs)
+
+
+def vk_create_tta_pipeline(pipeline: TTAPipeline) -> TTAPipeline:
+    """Validate and return the pipeline (the vkCreateTTAPipeline analogue)."""
+    pipeline.validate()
+    return pipeline
+
+
+def traverse_tree_tta(pipeline: TTAPipeline, kernel, n_threads: int,
+                      args: Any = None,
+                      config: GPUConfig = DEFAULT_CONFIG,
+                      **factory_knobs) -> KernelStats:
+    """Launch a tree traversal kernel (the vkCmdTraverseTree analogue)."""
+    gpu = GPU(config,
+              accelerator_factory=pipeline.accelerator_factory(**factory_knobs))
+    return gpu.launch(kernel, n_threads, args=args)
+
+
+class CommandBuffer:
+    """A recorded sequence of traversal launches (Vulkan-style).
+
+    Listing 1 records work into a GPU command buffer before submission;
+    this is that object: ``cmd_traverse_tree`` records, ``TTADevice
+    .submit`` executes in order and returns one :class:`KernelStats`
+    per command.
+    """
+
+    def __init__(self) -> None:
+        self._commands = []
+        self._submitted = False
+
+    def cmd_traverse_tree(self, pipeline: TTAPipeline, kernel,
+                          n_threads: int, args: Any = None,
+                          **factory_knobs) -> None:
+        if self._submitted:
+            raise ConfigurationError(
+                "command buffer already submitted; record a new one"
+            )
+        pipeline.validate()
+        self._commands.append((pipeline, kernel, n_threads, args,
+                               factory_knobs))
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+
+class TTADevice:
+    """A simulated GPU device that executes recorded command buffers."""
+
+    def __init__(self, config: GPUConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.launches = 0
+
+    def create_pipeline(self, flavor: str = "tta") -> TTAPipeline:
+        return TTAPipeline(flavor=flavor)
+
+    def submit(self, command_buffer: CommandBuffer) -> list:
+        """Execute every recorded command in order; returns their stats."""
+        if not len(command_buffer):
+            raise ConfigurationError("empty command buffer")
+        results = []
+        for pipeline, kernel, n_threads, args, knobs in \
+                command_buffer._commands:
+            results.append(traverse_tree_tta(pipeline, kernel, n_threads,
+                                             args=args, config=self.config,
+                                             **knobs))
+            self.launches += 1
+        command_buffer._submitted = True
+        return results

@@ -1,0 +1,156 @@
+"""Programmer-defined data layouts (``DecodeR`` / ``DecodeI`` / ``DecodeL``).
+
+Listing 1 of the paper configures the TTA front end with byte-offset
+lists such as ``internalNodeLayout[4] = [12, 12, 4, 4]``.  A
+:class:`DataLayout` is the same declaration with optional field names
+and types, plus a binary codec (pack/unpack) so tests can verify that
+the operation arbiter's node decoder round-trips real bytes.
+
+The warp buffer grants 16 x 32-bit registers per ray and per node
+(Fig. 7), so layouts are capped at 64 bytes.
+"""
+
+import struct
+from typing import Any, Dict, List, NamedTuple, Sequence, Tuple, Union
+
+from repro.errors import LayoutError
+
+WARP_BUFFER_ENTRY_BYTES = 64  # 16 x 32-bit registers (Fig. 7)
+
+_TYPE_FOR_SIZE = {4: "float", 12: "vec3"}
+_SIZE_FOR_TYPE = {"float": 4, "u32": 4, "vec3": 12}
+
+
+class Field(NamedTuple):
+    """One named field of a ray or node layout."""
+
+    name: str
+    type: str       # "float" | "u32" | "vec3"
+    offset: int     # byte offset within the entry
+
+    @property
+    def size(self) -> int:
+        return _SIZE_FOR_TYPE[self.type]
+
+
+class DataLayout:
+    """An ordered set of typed fields packed into a warp-buffer entry."""
+
+    def __init__(self, fields: Sequence[Tuple[str, str]], name: str = "layout"):
+        self.name = name
+        self.fields: List[Field] = []
+        offset = 0
+        seen = set()
+        for fname, ftype in fields:
+            if ftype not in _SIZE_FOR_TYPE:
+                raise LayoutError(f"{name}: unknown field type {ftype!r}")
+            if fname in seen:
+                raise LayoutError(f"{name}: duplicate field {fname!r}")
+            seen.add(fname)
+            self.fields.append(Field(fname, ftype, offset))
+            offset += _SIZE_FOR_TYPE[ftype]
+        self.size = offset
+        if self.size > WARP_BUFFER_ENTRY_BYTES:
+            raise LayoutError(
+                f"{name}: {self.size}B exceeds the {WARP_BUFFER_ENTRY_BYTES}B "
+                "warp buffer entry (16 x 32-bit registers)"
+            )
+        if not self.fields:
+            raise LayoutError(f"{name}: needs at least one field")
+
+    @classmethod
+    def from_sizes(cls, sizes: Sequence[int], name: str = "layout") -> "DataLayout":
+        """Listing 1 style: a bare list of byte sizes (4 or 12)."""
+        fields = []
+        for i, size in enumerate(sizes):
+            if size not in _TYPE_FOR_SIZE:
+                raise LayoutError(
+                    f"{name}: field size must be 4 or 12 bytes, got {size}"
+                )
+            fields.append((f"f{i}", _TYPE_FOR_SIZE[size]))
+        return cls(fields, name=name)
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise LayoutError(f"{self.name}: no field named {name!r}")
+
+    def field_at(self, offset: int) -> Field:
+        for f in self.fields:
+            if f.offset == offset:
+                return f
+        raise LayoutError(f"{self.name}: no field at offset {offset}")
+
+    # -- binary codec (what the node decoder implements in hardware) -------------
+    def pack(self, values: Dict[str, Any]) -> bytes:
+        out = bytearray()
+        for f in self.fields:
+            value = values.get(f.name)
+            if value is None:
+                raise LayoutError(f"{self.name}: missing value for {f.name!r}")
+            if f.type == "float":
+                out += struct.pack("<f", float(value))
+            elif f.type == "u32":
+                out += struct.pack("<I", int(value))
+            else:  # vec3
+                x, y, z = value
+                out += struct.pack("<fff", float(x), float(y), float(z))
+        return bytes(out)
+
+    def unpack(self, data: Union[bytes, bytearray]) -> Dict[str, Any]:
+        if len(data) < self.size:
+            raise LayoutError(
+                f"{self.name}: need {self.size} bytes, got {len(data)}"
+            )
+        values: Dict[str, Any] = {}
+        for f in self.fields:
+            chunk = data[f.offset:f.offset + f.size]
+            if f.type == "float":
+                values[f.name] = struct.unpack("<f", chunk)[0]
+            elif f.type == "u32":
+                values[f.name] = struct.unpack("<I", chunk)[0]
+            else:
+                values[f.name] = tuple(struct.unpack("<fff", chunk))
+        return values
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.type}@{f.offset}" for f in self.fields)
+        return f"DataLayout({self.name}: {inner})"
+
+
+# -- stock layouts used by the evaluated applications ------------------------------
+def ray_tracing_ray_layout() -> DataLayout:
+    """Listing 1's ray layout: origin, dir, tmin, tmax + scratch."""
+    return DataLayout(
+        [("origin", "vec3"), ("dir", "vec3"), ("tmin", "float"),
+         ("tmax", "float"), ("diff1", "vec3"), ("diff2", "vec3"),
+         ("t_near", "float"), ("t_far", "float")],
+        name="rt_ray",
+    )
+
+
+def btree_query_layout() -> DataLayout:
+    """A B-Tree 'ray': the query key plus traversal scratch."""
+    return DataLayout(
+        [("query", "float"), ("next_child", "u32"), ("found", "u32"),
+         ("depth", "u32")],
+        name="btree_query",
+    )
+
+
+def btree_node_layout() -> DataLayout:
+    """9 fence keys + first-child base address + child count."""
+    fields = [(f"key{i}", "float") for i in range(9)]
+    fields += [("first_child", "u32"), ("n_children", "u32"),
+               ("flags", "u32")]
+    return DataLayout(fields, name="btree_node")
+
+
+def nbody_node_layout() -> DataLayout:
+    """Barnes-Hut cell: center of mass, mass, size, children base."""
+    return DataLayout(
+        [("com", "vec3"), ("mass", "float"), ("size", "float"),
+         ("first_child", "u32"), ("count", "u32"), ("flags", "u32")],
+        name="bh_node",
+    )

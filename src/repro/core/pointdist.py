@@ -1,0 +1,28 @@
+"""The Point-to-Point distance datapath in the Ray-Triangle unit.
+
+TTA routes Algorithm 2 through the Ray-Triangle pipeline's existing
+silicon (Fig. 8 (2)): the vector subtractor computes ``b - a``, a dot
+product squares it, a scalar multiplier squares the threshold, and a
+comparator produces the boolean.  This module is that datapath as a
+functional unit, expressed with exactly those four operations.
+"""
+
+from typing import NamedTuple
+
+from repro.geometry.vec import Vec3, dot
+
+
+class PointDistanceResult(NamedTuple):
+    below: bool           # |b - a| < threshold (Algorithm 2's output)
+    distance_squared: float
+
+
+class PointDistanceUnit:
+    """Functional model of the added Ray-Triangle datapath."""
+
+    def test(self, point_a: Vec3, point_b: Vec3,
+             threshold: float) -> PointDistanceResult:
+        dis = point_b - point_a          # vector subtractor stage
+        dis2 = dot(dis, dis)             # dot-product stage
+        threshold2 = threshold * threshold  # scalar multiplier stage
+        return PointDistanceResult(dis2 < threshold2, dis2)  # comparator

@@ -1,0 +1,26 @@
+"""TTA+: the modular, programmable redesign of the RTA compute units.
+
+TTA+ decomposes the fixed-function intersection pipelines into
+individual OP units (Table I) joined by a 16x16 crosspoint interconnect
+(§III-C).  Intersection tests become µop *programs* that visit OP units
+in sequence, paying an interconnect hop per hand-off — which is why a
+Ray-Box test that took 13 cycles on fixed-function hardware takes
+~10x longer here (Fig. 18), yet end-to-end ray tracing only slows ~8%
+(Fig. 16) because node fetches dominate.
+"""
+
+from repro.core.ttaplus.opunits import OP_UNIT_LATENCIES, OpUnitBank
+from repro.core.ttaplus.programs import PROGRAMS, UopProgram, program_named
+from repro.core.ttaplus.ttaplus import TTAPlusBackend, make_ttaplus_factory
+from repro.core.ttaplus.uop import Uop
+
+__all__ = [
+    "Uop",
+    "UopProgram",
+    "PROGRAMS",
+    "program_named",
+    "OP_UNIT_LATENCIES",
+    "OpUnitBank",
+    "TTAPlusBackend",
+    "make_ttaplus_factory",
+]

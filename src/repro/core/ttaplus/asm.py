@@ -1,0 +1,140 @@
+"""Assembler for TTA+ intersection-test programs.
+
+Listing 1 of the paper configures intersection tests from program files
+(``ConfigI("RayBoxProg.asm")``).  This module implements that format: a
+tiny assembly language where each line is one µop naming its OP unit,
+optionally with operand annotations (which the behavioral model keeps
+for documentation and the termination-condition PC check) and a repeat
+count.
+
+Syntax::
+
+    ; Ray-Box intersection test            <- comments with ';' or '#'
+    SUB    diff1, boxMin, origin           <- unit mnemonic + operands
+    RCP x3 inv, dir                        <- xN repeats the µop N times
+    MINMAX tx1, tx2, tmin
+    TERM   found                           <- marks the termination PC
+
+Mnemonics map to Table I units:
+
+    ADD/SUB -> vec3_addsub    MUL -> mul        RCP -> rcp
+    CROSS -> cross            DOT -> dot        CMP -> vec3_cmp
+    MINMAX -> minmax          MAXMIN -> maxmin  AND/OR/XOR/NOT -> logical
+    SQRT -> sqrt              XFORM -> rxform
+"""
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.core.ttaplus.programs import UopProgram
+from repro.core.ttaplus.uop import Uop
+
+MNEMONICS = {
+    "ADD": "vec3_addsub",
+    "SUB": "vec3_addsub",
+    "MUL": "mul",
+    "RCP": "rcp",
+    "CROSS": "cross",
+    "DOT": "dot",
+    "CMP": "vec3_cmp",
+    "MINMAX": "minmax",
+    "MAXMIN": "maxmin",
+    "AND": "logical",
+    "OR": "logical",
+    "XOR": "logical",
+    "NOT": "logical",
+    "SQRT": "sqrt",
+    "XFORM": "rxform",
+}
+
+_REPEAT = re.compile(r"^x(\d+)$", re.IGNORECASE)
+
+
+class AssembledProgram(UopProgram):
+    """A µop program with source-level operand annotations."""
+
+    def __init__(self, name: str, uops, operands: List[str],
+                 terminate_pc: Optional[int]):
+        super().__init__(name, uops)
+        self.operands = operands
+        self.terminate_pc = terminate_pc
+
+
+def assemble(name: str, source: str) -> AssembledProgram:
+    """Assemble ``source`` into a runnable µop program.
+
+    Raises :class:`~repro.errors.ProgramError` with a line number on any
+    syntax error.
+    """
+    uops: List[Uop] = []
+    operands: List[str] = []
+    terminate_pc: Optional[int] = None
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        mnemonic, repeat, operand_text = _parse_line(line, line_no)
+        if mnemonic == "TERM":
+            if terminate_pc is not None:
+                raise ProgramError(
+                    f"{name}:{line_no}: duplicate TERM directive"
+                )
+            if not uops:
+                raise ProgramError(
+                    f"{name}:{line_no}: TERM before any µop"
+                )
+            terminate_pc = len(uops) - 1
+            continue
+        unit = MNEMONICS.get(mnemonic)
+        if unit is None:
+            raise ProgramError(
+                f"{name}:{line_no}: unknown mnemonic {mnemonic!r}; "
+                f"expected one of {sorted(MNEMONICS)} or TERM"
+            )
+        for _ in range(repeat):
+            uops.append(Uop(unit))
+            operands.append(operand_text)
+    if not uops:
+        raise ProgramError(f"{name}: program has no µops")
+    return AssembledProgram(name, uops, operands, terminate_pc)
+
+
+def _parse_line(line: str, line_no: int) -> Tuple[str, int, str]:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].upper()
+    rest = parts[1].strip() if len(parts) > 1 else ""
+    repeat = 1
+    if rest:
+        first, *others = rest.split(None, 1)
+        match = _REPEAT.match(first)
+        if match:
+            repeat = int(match.group(1))
+            if repeat < 1:
+                raise ProgramError(f"line {line_no}: repeat must be >= 1")
+            rest = others[0].strip() if others else ""
+    return mnemonic, repeat, rest
+
+
+def assemble_file(path: str, name: Optional[str] = None) -> AssembledProgram:
+    """Assemble a ``.asm`` file (the Listing 1 ``ConfigI`` path)."""
+    with open(path) as f:
+        source = f.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return assemble(name, source)
+
+
+#: The stock Ray-Box program, in the assembly form Listing 1 references.
+RAY_BOX_ASM = """
+; Ray-Box intersection test (RayBoxProg.asm of Listing 1)
+SUB     diff1, boxMin, origin
+SUB     diff2, boxMax, origin
+RCP x3  inv, dir
+MUL x6  tx, diff, inv
+MINMAX x3  tnear, tx1, tx2
+MAXMIN x3  tfar,  tx1, tx2
+CMP     hit, tnear, tfar
+OR      anyhit, hit
+TERM    anyhit
+"""

@@ -1,0 +1,78 @@
+"""Table I: the OP units of TTA+ with their latencies.
+
+The paper implements one copy of each unit ("the most general
+configuration") and reports per-unit utilization in Fig. 18 (top); the
+``copies`` override supports the future-work exploration of wider
+configurations.  µop latencies are the Agner-Fog-referenced values of
+Table I.
+"""
+
+from typing import Dict
+
+from repro.errors import ConfigurationError, ProgramError
+from repro.sim.resources import PipelinedUnit
+from repro.core.ttaplus.uop import UNIT_TYPES
+
+#: Table I latencies, in cycles.
+OP_UNIT_LATENCIES: Dict[str, int] = {
+    "vec3_addsub": 4,   # Pipelined FP32 Vec3 +/- Vec3
+    "mul": 4,           # Pipelined FP32 scalar multiply
+    "rcp": 4,           # FP32 1/x (RCPSS-like)
+    "cross": 5,         # Vec3 cross product
+    "dot": 5,           # Vec3 dot product
+    "vec3_cmp": 1,      # (a <= b) ? 1 : 0 per component
+    "minmax": 1,        # MIN(a, MAX(b, c))
+    "maxmin": 1,        # MAX(a, MIN(b, c))
+    "logical": 1,       # AND/OR/XOR/NOT
+    "sqrt": 11,         # square root
+    "rxform": 4,        # ray transform matrix multiply
+}
+
+
+class OpUnitBank:
+    """The physical OP units of one TTA+ instance."""
+
+    def __init__(self, copies: Dict[str, int] = None,
+                 latency_scale: float = 1.0):
+        if latency_scale <= 0:
+            raise ConfigurationError("latency scale must be positive")
+        copies = copies or {}
+        self.units: Dict[str, list] = {}
+        for unit_type in UNIT_TYPES:
+            n = copies.get(unit_type, 1)
+            if n < 1:
+                raise ConfigurationError(
+                    f"need at least one {unit_type} unit"
+                )
+            latency = max(1.0, OP_UNIT_LATENCIES[unit_type] * latency_scale)
+            self.units[unit_type] = [
+                PipelinedUnit(f"{unit_type}[{i}]", latency=latency,
+                              strict=False)
+                for i in range(n)
+            ]
+        self._rr: Dict[str, int] = {u: 0 for u in UNIT_TYPES}
+
+    def issue(self, unit_type: str, at: float):
+        """Issue on the next copy of ``unit_type``; returns (unit, start, done)."""
+        try:
+            pool = self.units[unit_type]
+        except KeyError:
+            raise ProgramError(f"unknown OP unit type {unit_type!r}")
+        idx = self._rr[unit_type]
+        self._rr[unit_type] = (idx + 1) % len(pool)
+        unit = pool[idx]
+        start, done = unit.issue(at)
+        return unit, start, done
+
+    def snapshot(self, end: float) -> Dict[str, dict]:
+        out = {}
+        for unit_type, pool in self.units.items():
+            out[unit_type] = {
+                "ops": sum(u.ops for u in pool),
+                "busy_cycles": sum(u.busy_cycles for u in pool),
+                "utilization": (sum(u.busy_cycles for u in pool)
+                                / (end * len(pool)) if end > 0 else 0.0),
+                "occupancy_avg": sum(u.occupancy.average(end) for u in pool),
+                "occupancy_peak": sum(u.occupancy.peak for u in pool),
+            }
+        return out

@@ -1,0 +1,155 @@
+"""The TTA+ backend: executes µop programs over OP units + crossbar.
+
+Plugs into :class:`repro.rta.rta.RTACore` in place of the
+fixed-function backend.  A step with ``op="uop:<name>"`` runs the named
+program serially: every µop crosses the interconnect to its unit's
+input port (queueing on contention), issues, and completes after the
+Table I latency.  The chain's end-to-end time is the *intersection
+latency* reported in Fig. 18 (bottom); per-unit busy fractions are
+Fig. 18 (top).
+"""
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.core.ttaplus.dest_table import OpDestTable
+from repro.core.ttaplus.interconnect import Crossbar
+from repro.core.ttaplus.opunits import OP_UNIT_LATENCIES, OpUnitBank
+from repro.core.ttaplus.programs import PROGRAMS, program_named
+from repro.gpu.config import GPUConfig
+from repro.sim.stats import LatencySampler
+
+
+class TTAPlusBackend:
+    """One TTA+ instance's compute complex."""
+
+    def __init__(self, sim, config: GPUConfig,
+                 copies: Dict[str, int] = None,
+                 perfect_icnt: bool = False,
+                 latency_scale: float = 1.0):
+        self.sim = sim
+        self.config = config
+        self.is_tta = True  # programmable superset
+        if copies is None:
+            # Table II: 4 intersection-unit sets; TTA+ replaces each set
+            # with one set of OP units (Table IV compares per-set area).
+            copies = {unit: config.intersection_sets
+                      for unit in OP_UNIT_LATENCIES}
+        self.bank = OpUnitBank(copies=copies, latency_scale=latency_scale)
+        self.crossbar = Crossbar(hop_latency=config.icnt_hop_latency,
+                                 perfect=perfect_icnt,
+                                 ports_per_unit=config.intersection_sets)
+        self.dest_table = OpDestTable()
+        for name, program in PROGRAMS.items():
+            self.dest_table.load_program(name, program)
+        self.test_latency: Dict[str, LatencySampler] = {}
+        self.tests_run = 0
+
+    # -- execution ------------------------------------------------------------------
+    def execute(self, now: float, op: str, count: int):
+        """Run ``count`` back-to-back tests of µop program ``op``.
+
+        Generator for ``yield from`` inside a job process.  The chain is
+        computed analytically over the shared unit/port timelines, so
+        contention from concurrent traversals is reflected in the result.
+        """
+        name = self._program_name(op)
+        program = program_named(name)
+        sampler = self.test_latency.setdefault(name, LatencySampler())
+        sim = self.sim
+        runs = self._runs(program)
+        for _ in range(count):
+            begin = sim.now
+            pc = 0
+            for unit_type, n in runs:
+                # One interconnect crossing per same-unit run: consecutive
+                # µops on one unit execute inside it without re-crossing
+                # (§III-C: "the ADDSUB unit ... executes the first two
+                # operations serially, and forwards the result").  Within
+                # a run the µops work on independent lanes of the payload,
+                # so they pipeline at the unit's initiation interval.  The
+                # yields keep resource acquisitions in real time order so
+                # concurrent chains interleave as the hardware's per-unit
+                # input queues do.
+                self.dest_table.next_port(name, pc)  # routing lookup
+                pc += n
+                arrival = self.crossbar.route(sim.now, unit_type)
+                if arrival > sim.now:
+                    yield arrival - sim.now
+                last_done = sim.now
+                issued = []
+                for _i in range(n):
+                    unit, _start, done = self.bank.issue(unit_type, sim.now)
+                    issued.append((unit, done))
+                    last_done = max(last_done, done)
+                if last_done > sim.now:
+                    yield last_done - sim.now
+                for unit, _done in issued:
+                    unit.complete(sim.now)
+            # Final writeback hand-off to the buffers / warp registers.
+            writeback = self.crossbar.route(sim.now, "writeback")
+            if writeback > sim.now:
+                yield writeback - sim.now
+            sampler.sample(sim.now - begin)
+            self.tests_run += 1
+
+    @staticmethod
+    def _runs(program):
+        """Collapse a µop list into (unit, run_length) pairs."""
+        runs = []
+        for uop in program.uops:
+            if runs and runs[-1][0] == uop.unit:
+                runs[-1][1] += 1
+            else:
+                runs.append([uop.unit, 1])
+        return [(u, n) for u, n in runs]
+
+    @staticmethod
+    def _program_name(op: str) -> str:
+        if not op.startswith("uop:"):
+            raise ConfigurationError(
+                f"TTA+ executes µop programs; got step op {op!r} "
+                "(lower fixed-function steps with a ttaplus job builder)"
+            )
+        return op[len("uop:"):]
+
+    # -- statistics --------------------------------------------------------------
+    def snapshot(self, end: float) -> dict:
+        out = {"uop_tests_run": self.tests_run}
+        for unit_type, stats in self.bank.snapshot(end).items():
+            out[f"op_{unit_type}_ops"] = stats["ops"]
+            out[f"op_{unit_type}_util"] = stats["utilization"]
+            out[f"op_{unit_type}_busy_cycles"] = stats["busy_cycles"]
+            out[f"op_{unit_type}_occupancy_peak"] = stats["occupancy_peak"]
+        for name, sampler in self.test_latency.items():
+            out[f"test_{name}_latency_mean"] = sampler.mean
+            out[f"test_{name}_count"] = sampler.count
+        out.update(self.crossbar.snapshot(end))
+        return out
+
+
+def make_ttaplus_factory(copies: Dict[str, int] = None,
+                         perfect_icnt: bool = False,
+                         latency_scale: float = 1.0,
+                         perfect_node_fetch: bool = False,
+                         prefetch_depth: int = 0):
+    """Factory attaching a TTA+ to every SM (use with :class:`repro.gpu.GPU`).
+
+    ``perfect_icnt`` and ``perfect_node_fetch`` support the Fig. 17
+    limit study (zero-cost interconnect / zero-latency node fetches);
+    ``copies`` overrides the per-unit-type replication (Table II default:
+    one per intersection set); ``prefetch_depth`` enables the treelet
+    prefetcher [16].
+    """
+    from repro.rta.rta import RTACore
+
+    def factory(sm):
+        backend = TTAPlusBackend(sm.sim, sm.config, copies=copies,
+                                 perfect_icnt=perfect_icnt,
+                                 latency_scale=latency_scale)
+        core = RTACore(sm, backend, prefetch_depth=prefetch_depth)
+        if perfect_node_fetch:
+            core.mem.fetch = lambda now, address, size: now
+        return core
+
+    return factory

@@ -1,0 +1,39 @@
+"""Micro-operations: the unit of programmability in TTA+.
+
+A µop names the OP unit it executes on; a program is an ordered list of
+µops executed *serially* — each hand-off crosses the interconnect to
+the next unit's input port, carrying the ray/node data and intermediate
+values (the paper sizes the crossbar at 120B for exactly this payload:
+64B node + 32B ray + 24B intermediates).
+"""
+
+from typing import NamedTuple
+
+from repro.errors import ProgramError
+
+#: OP unit type names (Table I rows)
+UNIT_TYPES = (
+    "vec3_addsub",
+    "mul",
+    "rcp",
+    "cross",
+    "dot",
+    "vec3_cmp",
+    "minmax",
+    "maxmin",
+    "logical",
+    "sqrt",
+    "rxform",
+)
+
+
+class Uop(NamedTuple):
+    """One micro-operation: execute on ``unit``."""
+
+    unit: str
+
+    @staticmethod
+    def validate(unit: str) -> "Uop":
+        if unit not in UNIT_TYPES:
+            raise ProgramError(f"unknown OP unit type {unit!r}")
+        return Uop(unit)

@@ -1,0 +1,26 @@
+"""Area, power and energy models (§IV-B, §V-C).
+
+Area and power constants are the paper's FreePDK45 synthesis results
+(Table IV and §V-C1); activity counts (unit-busy cycles, warp-buffer
+accesses, dynamic instructions, DRAM bytes) come from the simulator,
+mirroring the paper's CACTI7 + AccelWattch methodology.
+"""
+
+from repro.energy.area import (
+    AreaReport,
+    baseline_rta_area_um2,
+    tta_area_report,
+    ttaplus_area_report,
+)
+from repro.energy.model import EnergyBreakdown, energy_report
+from repro.energy.power import UNIT_POWER_MW
+
+__all__ = [
+    "AreaReport",
+    "baseline_rta_area_um2",
+    "tta_area_report",
+    "ttaplus_area_report",
+    "EnergyBreakdown",
+    "energy_report",
+    "UNIT_POWER_MW",
+]

@@ -1,0 +1,93 @@
+"""End-to-end energy accounting (Fig. 19's three buckets).
+
+* **Compute Core** — dynamic instruction energy on the SIMT cores,
+  SM static energy over the run, and memory-system energy for all DRAM
+  traffic (from either the cores or the accelerator, as in the paper).
+* **Warp Buffer** — per-access SRAM energy for ray/node state reads and
+  writes in the accelerator.
+* **Intersection** — busy-cycle energy of the Ray-Box/Ray-Triangle
+  pipelines or the TTA+ OP units, plus crossbar transfer energy.
+"""
+
+from dataclasses import dataclass
+
+from repro.energy import power as P
+from repro.gpu.config import GPUConfig
+from repro.gpu.device import KernelStats
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in millijoules per Fig. 19 bucket."""
+
+    compute_core_mj: float
+    warp_buffer_mj: float
+    intersection_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.compute_core_mj + self.warp_buffer_mj + \
+            self.intersection_mj
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict:
+        scale = baseline.total_mj
+        return {
+            "compute_core": self.compute_core_mj / scale,
+            "warp_buffer": self.warp_buffer_mj / scale,
+            "intersection": self.intersection_mj / scale,
+            "total": self.total_mj / scale,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EnergyBreakdown(core={self.compute_core_mj:.3f}mJ, "
+            f"wb={self.warp_buffer_mj:.3f}mJ, "
+            f"isect={self.intersection_mj:.3f}mJ, "
+            f"total={self.total_mj:.3f}mJ)"
+        )
+
+
+_FIXED_UNITS = ("box", "tri", "xform", "query_key", "point_dist")
+_OP_UNITS = ("vec3_addsub", "mul", "rcp", "cross", "dot", "vec3_cmp",
+             "minmax", "maxmin", "logical", "sqrt", "rxform")
+
+
+def energy_report(stats: KernelStats, config: GPUConfig) -> EnergyBreakdown:
+    """Account a kernel launch's energy from its activity statistics."""
+    # -- compute core ---------------------------------------------------------
+    warp_insts = stats.total_warp_instructions
+    core_dyn = warp_insts * P.CORE_DYN_NJ_PER_WARP_INST
+    static = stats.cycles * config.n_sms * P.CORE_STATIC_NJ_PER_SM_CYCLE
+    dram = stats.memory.get("dram_bytes", 0.0) * P.DRAM_NJ_PER_BYTE
+    compute_core = core_dyn + static + dram
+
+    acc = stats.accel_stats or {}
+
+    # -- warp buffer ------------------------------------------------------------
+    warp_buffer = (acc.get("warp_buffer_reads", 0) * P.WARP_BUFFER_READ_NJ
+                   + acc.get("warp_buffer_writes", 0) * P.WARP_BUFFER_WRITE_NJ)
+
+    # -- intersection units -------------------------------------------------------
+    intersection = 0.0
+    for unit in _FIXED_UNITS:
+        busy = acc.get(f"{unit}_busy_cycles", 0.0)
+        intersection += busy * P.unit_energy_per_busy_cycle_nj(unit)
+    for unit in _OP_UNITS:
+        busy = acc.get(f"op_{unit}_busy_cycles", 0.0)
+        intersection += busy * P.unit_energy_per_busy_cycle_nj(unit)
+    intersection += acc.get("icnt_transfers", 0) * P.ICNT_NJ_PER_TRANSFER
+
+    # Fixed-function pipelines occupy their full depth per op, not just
+    # the issue slot: charge latency cycles per op.
+    for unit, depth in (("box", config.ray_box_latency),
+                        ("tri", config.ray_tri_latency),
+                        ("query_key", config.query_key_latency),
+                        ("point_dist", config.point_dist_latency)):
+        ops = acc.get(f"{unit}_ops", 0)
+        intersection += ops * (depth - 1) * \
+            P.unit_energy_per_busy_cycle_nj(unit) * 0.1  # pipeline shell
+
+    nj_to_mj = 1e-6
+    return EnergyBreakdown(compute_core * nj_to_mj,
+                           warp_buffer * nj_to_mj,
+                           intersection * nj_to_mj)

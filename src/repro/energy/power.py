@@ -1,0 +1,71 @@
+"""Power and per-event energy constants.
+
+Anchored on the paper's synthesized numbers: the baseline Ray-Box unit
+draws 259.4 mW active and the TTA-modified one 261.1 mW (§V-C1).  Units
+without a published figure are scaled from their Table IV areas at the
+Ray-Box unit's power density — the standard constant-density estimate
+for same-process synthesis.  Warp-buffer access energy follows the
+CACTI7 methodology (a small SRAM read/write at 45nm); core and DRAM
+energies follow AccelWattch-class per-event costs.
+"""
+
+from repro.energy.area import (
+    BASELINE_AREAS_UM2,
+    SQRT_AREA_UM2,
+    TTAPLUS_AREAS_UM2,
+)
+
+CLOCK_GHZ = 1.365  # Table II compute clock
+
+#: mW per µm², from the synthesized Ray-Box unit.
+_DENSITY_MW_PER_UM2 = 259.4 / BASELINE_AREAS_UM2["ray_box"]
+
+
+def _scaled(area_um2: float) -> float:
+    return area_um2 * _DENSITY_MW_PER_UM2
+
+
+#: Active power of each timing-model unit, in mW.
+UNIT_POWER_MW = {
+    # Fixed-function pipelines (baseline RTA / TTA).
+    "box": 259.4,
+    "query_key": 261.1,                       # §V-C1: +0.7%
+    "tri": _scaled(BASELINE_AREAS_UM2["ray_tri"]),
+    "point_dist": _scaled(BASELINE_AREAS_UM2["ray_tri"]),
+    "xform": _scaled(TTAPLUS_AREAS_UM2["cross"]),
+    # TTA+ OP units (scaled from Table IV areas).
+    "vec3_addsub": _scaled(TTAPLUS_AREAS_UM2["vec3_addsub"]),
+    "mul": _scaled(TTAPLUS_AREAS_UM2["mul"]),
+    "rcp": _scaled(TTAPLUS_AREAS_UM2["rcp_x3"] / 3.0),
+    "cross": _scaled(TTAPLUS_AREAS_UM2["cross"]),
+    "dot": _scaled(TTAPLUS_AREAS_UM2["dot"]),
+    "vec3_cmp": _scaled(TTAPLUS_AREAS_UM2["minmax"]),
+    "minmax": _scaled(TTAPLUS_AREAS_UM2["minmax"]),
+    "maxmin": _scaled(TTAPLUS_AREAS_UM2["maxmin"]),
+    "logical": _scaled(TTAPLUS_AREAS_UM2["minmax"]),
+    "sqrt": _scaled(SQRT_AREA_UM2),
+    "rxform": _scaled(TTAPLUS_AREAS_UM2["cross"]),
+}
+
+
+def unit_energy_per_busy_cycle_nj(unit: str) -> float:
+    """nJ per cycle a unit spends issuing (P * t at the core clock)."""
+    return UNIT_POWER_MW[unit] * 1e-3 / (CLOCK_GHZ * 1e9) * 1e9
+
+
+#: CACTI-class warp buffer SRAM access energies (64B entry, 45nm), nJ.
+WARP_BUFFER_READ_NJ = 0.015
+WARP_BUFFER_WRITE_NJ = 0.022
+
+#: AccelWattch-class per-warp-instruction dynamic energy on the SIMT
+#: front end + execution units, nJ.
+CORE_DYN_NJ_PER_WARP_INST = 1.5
+
+#: Static/constant power per SM, converted to nJ per cycle.
+CORE_STATIC_NJ_PER_SM_CYCLE = 0.45
+
+#: DRAM access energy, nJ per byte moved.
+DRAM_NJ_PER_BYTE = 0.02
+
+#: TTA+ crossbar payload transfer (120B across the 16x16 switch), nJ.
+ICNT_NJ_PER_TRANSFER = 0.012

@@ -1,0 +1,21 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An accelerator, layout, or experiment was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class LayoutError(ConfigurationError):
+    """A data-layout descriptor does not match the data it is applied to."""
+
+
+class ProgramError(ConfigurationError):
+    """A TTA+ micro-op program is malformed or references unknown units."""

@@ -1,0 +1,72 @@
+"""Axis-aligned bounding boxes, the BVH node primitive."""
+
+from repro.geometry.vec import Vec3
+
+
+class AABB:
+    """Axis-aligned bounding box with inclusive bounds."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Vec3, hi: Vec3):
+        self.lo = lo
+        self.hi = hi
+
+    @staticmethod
+    def empty() -> "AABB":
+        inf = float("inf")
+        return AABB(Vec3(inf, inf, inf), Vec3(-inf, -inf, -inf))
+
+    @staticmethod
+    def around_point(p: Vec3, radius: float) -> "AABB":
+        r = Vec3(radius, radius, radius)
+        return AABB(p - r, p + r)
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(self.lo.min_with(other.lo), self.hi.max_with(other.hi))
+
+    def expand_point(self, p: Vec3) -> "AABB":
+        return AABB(self.lo.min_with(p), self.hi.max_with(p))
+
+    def contains_point(self, p: Vec3) -> bool:
+        return (
+            self.lo.x <= p.x <= self.hi.x
+            and self.lo.y <= p.y <= self.hi.y
+            and self.lo.z <= p.z <= self.hi.z
+        )
+
+    def contains_box(self, other: "AABB") -> bool:
+        return (
+            self.lo.x <= other.lo.x
+            and self.lo.y <= other.lo.y
+            and self.lo.z <= other.lo.z
+            and self.hi.x >= other.hi.x
+            and self.hi.y >= other.hi.y
+            and self.hi.z >= other.hi.z
+        )
+
+    def centroid(self) -> Vec3:
+        return (self.lo + self.hi) * 0.5
+
+    def extent(self) -> Vec3:
+        return self.hi - self.lo
+
+    def longest_axis(self) -> int:
+        e = self.extent()
+        if e.x >= e.y and e.x >= e.z:
+            return 0
+        if e.y >= e.z:
+            return 1
+        return 2
+
+    def surface_area(self) -> float:
+        e = self.extent()
+        if e.x < 0 or e.y < 0 or e.z < 0:
+            return 0.0
+        return 2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+
+    def is_empty(self) -> bool:
+        return self.lo.x > self.hi.x
+
+    def __repr__(self) -> str:
+        return f"AABB({self.lo!r}, {self.hi!r})"

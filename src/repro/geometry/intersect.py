@@ -1,0 +1,63 @@
+"""Core intersection tests used by the traversal engines.
+
+``ray_aabb_intersect`` is the slab test exactly as the baseline Ray-Box
+unit computes it (per-axis plane distances, then a min/max reduction —
+see Fig. 5 left and Fig. 9 (1) of the paper).  ``point_distance_below``
+is Algorithm 2: the Point-to-Point distance test TTA adds to the
+Ray-Triangle unit.
+"""
+
+from typing import Optional, Tuple
+
+from repro.geometry.aabb import AABB
+from repro.geometry.ray import Ray
+from repro.geometry.vec import Vec3, dot
+
+
+def ray_aabb_intersect(ray: Ray, box: AABB) -> Optional[Tuple[float, float]]:
+    """Slab test. Returns the clipped (t_entry, t_exit) or None on miss.
+
+    The arithmetic mirrors the hardware datapath: subtract, multiply by
+    the cached reciprocal direction, then fold the six plane distances
+    through min/max trees against the ray interval.
+    """
+    tx1 = (box.lo.x - ray.origin.x) * ray.inv_direction.x
+    tx2 = (box.hi.x - ray.origin.x) * ray.inv_direction.x
+    ty1 = (box.lo.y - ray.origin.y) * ray.inv_direction.y
+    ty2 = (box.hi.y - ray.origin.y) * ray.inv_direction.y
+    tz1 = (box.lo.z - ray.origin.z) * ray.inv_direction.z
+    tz2 = (box.hi.z - ray.origin.z) * ray.inv_direction.z
+
+    t_entry = max(
+        min(tx1, tx2),
+        min(ty1, ty2),
+        min(tz1, tz2),
+        ray.tmin,
+    )
+    t_exit = min(
+        max(tx1, tx2),
+        max(ty1, ty2),
+        max(tz1, tz2),
+        ray.tmax,
+    )
+    if t_entry <= t_exit:
+        return t_entry, t_exit
+    return None
+
+
+def point_distance_below(point_a: Vec3, point_b: Vec3, threshold: float) -> bool:
+    """Algorithm 2: is ``|b - a| < threshold``, computed without sqrt.
+
+    The hardware path is: vector subtract, dot(dis, dis), threshold^2,
+    compare — which is exactly the sequence below.
+    """
+    dis = point_b - point_a
+    dis2 = dot(dis, dis)
+    threshold2 = threshold * threshold
+    return dis2 < threshold2
+
+
+def point_distance_squared(point_a: Vec3, point_b: Vec3) -> float:
+    """Squared Euclidean distance (shared by radius search and N-Body)."""
+    dis = point_b - point_a
+    return dot(dis, dis)

@@ -1,0 +1,45 @@
+"""Rays as traced by the RTA: origin, direction, [tmin, tmax] interval."""
+
+from repro.geometry.vec import Vec3
+
+_HUGE = 1e30  # stands in for +inf while staying finite under 1/x
+
+
+class Ray:
+    """A parametric ray ``origin + t * direction`` with a valid t-interval.
+
+    The reciprocal direction is cached because both the hardware slab test
+    and our model use multiply-by-reciprocal rather than division (the
+    baseline Ray-Box unit spends its RCP units on exactly this).
+    """
+
+    __slots__ = ("origin", "direction", "tmin", "tmax", "inv_direction")
+
+    def __init__(self, origin: Vec3, direction: Vec3, tmin: float = 0.0,
+                 tmax: float = _HUGE):
+        self.origin = origin
+        self.direction = direction
+        self.tmin = float(tmin)
+        self.tmax = float(tmax)
+        self.inv_direction = Vec3(
+            self._safe_rcp(direction.x),
+            self._safe_rcp(direction.y),
+            self._safe_rcp(direction.z),
+        )
+
+    @staticmethod
+    def _safe_rcp(v: float) -> float:
+        # Hardware RCP of a denormal/zero saturates; mirror that so axis-
+        # parallel rays still produce correct interval logic.
+        if abs(v) < 1e-12:
+            return _HUGE if v >= 0 else -_HUGE
+        return 1.0 / v
+
+    def point_at(self, t: float) -> Vec3:
+        return self.origin + self.direction * t
+
+    def __repr__(self) -> str:
+        return (
+            f"Ray(o={self.origin!r}, d={self.direction!r}, "
+            f"t=[{self.tmin}, {self.tmax}])"
+        )

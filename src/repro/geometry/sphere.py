@@ -1,0 +1,65 @@
+"""Spheres and the Ray-Sphere test.
+
+On a baseline RTA, spheres are *procedural geometry*: the hardware only
+traverses the BVH of their bounding boxes, and the quadratic test below
+runs in an intersection shader on the general-purpose cores.  TTA+ can
+instead run it as a µop program (the *WKND_PT / *RTNN optimization).
+"""
+
+import math
+from typing import NamedTuple, Optional
+
+from repro.geometry.aabb import AABB
+from repro.geometry.ray import Ray
+from repro.geometry.vec import Vec3, dot
+
+
+class SphereHit(NamedTuple):
+    t: float
+
+
+class Sphere:
+    """A sphere primitive (center, radius)."""
+
+    __slots__ = ("center", "radius", "prim_id")
+
+    def __init__(self, center: Vec3, radius: float, prim_id: int = -1):
+        if radius <= 0:
+            raise ValueError("sphere radius must be positive")
+        self.center = center
+        self.radius = float(radius)
+        self.prim_id = prim_id
+
+    def bounds(self) -> AABB:
+        return AABB.around_point(self.center, self.radius)
+
+    def contains(self, p: Vec3) -> bool:
+        return (p - self.center).length_squared() <= self.radius * self.radius
+
+    def __repr__(self) -> str:
+        return f"Sphere(c={self.center!r}, r={self.radius}, id={self.prim_id})"
+
+
+def ray_sphere_intersect(ray: Ray, sphere: Sphere) -> Optional[SphereHit]:
+    """Quadratic ray/sphere test returning the nearest hit in range.
+
+    The µop breakdown in Table III for the WKND_PT leaf test (5 Vec3 SUBs,
+    5 MULs, 1 SQRT, 1 RCP, 3 DOTs, 2 CMPs...) corresponds to this
+    computation; the functional result here is what that program yields.
+    """
+    oc = ray.origin - sphere.center
+    a = dot(ray.direction, ray.direction)
+    half_b = dot(oc, ray.direction)
+    c = dot(oc, oc) - sphere.radius * sphere.radius
+    discriminant = half_b * half_b - a * c
+    if discriminant < 0:
+        return None
+    sqrt_d = math.sqrt(discriminant)
+    inv_a = 1.0 / a
+
+    root = (-half_b - sqrt_d) * inv_a
+    if root < ray.tmin or root > ray.tmax:
+        root = (-half_b + sqrt_d) * inv_a
+        if root < ray.tmin or root > ray.tmax:
+            return None
+    return SphereHit(t=root)

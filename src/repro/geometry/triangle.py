@@ -1,0 +1,76 @@
+"""Triangles and the Möller-Trumbore intersection test (Fig. 5 right)."""
+
+from typing import NamedTuple, Optional
+
+from repro.geometry.aabb import AABB
+from repro.geometry.ray import Ray
+from repro.geometry.vec import Vec3, cross, dot
+
+_EPSILON = 1e-9
+
+
+class TriangleHit(NamedTuple):
+    """Result of a Ray-Triangle intersection.
+
+    ``t`` is the hit distance along the ray; ``u``/``v`` are the
+    barycentric coordinates the RTA returns to the shader stages.
+    """
+
+    t: float
+    u: float
+    v: float
+
+
+class Triangle:
+    """A triangle primitive stored as three vertices."""
+
+    __slots__ = ("v0", "v1", "v2", "prim_id")
+
+    def __init__(self, v0: Vec3, v1: Vec3, v2: Vec3, prim_id: int = -1):
+        self.v0 = v0
+        self.v1 = v1
+        self.v2 = v2
+        self.prim_id = prim_id
+
+    def bounds(self) -> AABB:
+        lo = self.v0.min_with(self.v1).min_with(self.v2)
+        hi = self.v0.max_with(self.v1).max_with(self.v2)
+        return AABB(lo, hi)
+
+    def centroid(self) -> Vec3:
+        return (self.v0 + self.v1 + self.v2) * (1.0 / 3.0)
+
+    def __repr__(self) -> str:
+        return f"Triangle(id={self.prim_id})"
+
+
+def ray_triangle_intersect(ray: Ray, tri: Triangle) -> Optional[TriangleHit]:
+    """Möller-Trumbore ray/triangle test.
+
+    Follows the exact operation sequence of the 37-cycle fixed-function
+    pipeline: edge vectors, a cross product, a dot product, one
+    reciprocal, then barycentric coordinates via two more cross/dot
+    pairs, with the same rejection order as the classic algorithm.
+    """
+    edge1 = tri.v1 - tri.v0
+    edge2 = tri.v2 - tri.v0
+    pvec = cross(ray.direction, edge2)
+    det = dot(edge1, pvec)
+    if abs(det) < _EPSILON:
+        return None  # Ray parallel to the triangle plane.
+    inv_det = 1.0 / det
+
+    tvec = ray.origin - tri.v0
+    u = dot(tvec, pvec) * inv_det
+    if u < 0.0 or u > 1.0:
+        return None
+
+    qvec = cross(tvec, edge1)
+    v = dot(ray.direction, qvec) * inv_det
+    if v < 0.0 or u + v > 1.0:
+        return None
+
+    t = dot(edge2, qvec) * inv_det
+    if t < ray.tmin or t > ray.tmax:
+        return None
+    return TriangleHit(t=t, u=u, v=v)

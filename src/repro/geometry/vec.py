@@ -1,0 +1,99 @@
+"""A small 3-component float vector.
+
+Kept deliberately simple (plain attributes, eager arithmetic) because the
+simulator calls these operations millions of times; anything fancier
+costs real wall-clock time.
+"""
+
+import math
+
+
+class Vec3:
+    """Immutable-by-convention 3D vector of Python floats."""
+
+    __slots__ = ("x", "y", "z")
+
+    def __init__(self, x: float = 0.0, y: float = 0.0, z: float = 0.0):
+        self.x = float(x)
+        self.y = float(y)
+        self.z = float(z)
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        inv = 1.0 / scalar
+        return Vec3(self.x * inv, self.y * inv, self.z * inv)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Vec3)
+            and self.x == other.x
+            and self.y == other.y
+            and self.z == other.z
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y, self.z))
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def __repr__(self) -> str:
+        return f"Vec3({self.x}, {self.y}, {self.z})"
+
+    # -- metrics ----------------------------------------------------------
+    def length_squared(self) -> float:
+        return self.x * self.x + self.y * self.y + self.z * self.z
+
+    def length(self) -> float:
+        return math.sqrt(self.length_squared())
+
+    def normalized(self) -> "Vec3":
+        n = self.length()
+        if n == 0.0:
+            raise ValueError("cannot normalize zero vector")
+        return self / n
+
+    def min_with(self, other: "Vec3") -> "Vec3":
+        return Vec3(min(self.x, other.x), min(self.y, other.y), min(self.z, other.z))
+
+    def max_with(self, other: "Vec3") -> "Vec3":
+        return Vec3(max(self.x, other.x), max(self.y, other.y), max(self.z, other.z))
+
+    def component(self, axis: int) -> float:
+        if axis == 0:
+            return self.x
+        if axis == 1:
+            return self.y
+        if axis == 2:
+            return self.z
+        raise IndexError(f"axis {axis} out of range")
+
+
+def dot(a: Vec3, b: Vec3) -> float:
+    """Dot product — the functional model of the RTA DOT unit."""
+    return a.x * b.x + a.y * b.y + a.z * b.z
+
+
+def cross(a: Vec3, b: Vec3) -> Vec3:
+    """Cross product — the functional model of the RTA CROSS unit."""
+    return Vec3(
+        a.y * b.z - a.z * b.y,
+        a.z * b.x - a.x * b.z,
+        a.x * b.y - a.y * b.x,
+    )

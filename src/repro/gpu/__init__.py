@@ -1,0 +1,25 @@
+"""Behavioral SIMT GPU model (the paper's baseline general-purpose cores).
+
+The model reproduces the three performance effects the paper's argument
+rests on:
+
+* dynamic-instruction cost — every traversal step spends tens of issued
+  instructions on the in-order, one-instruction-per-cycle SM front end;
+* SIMT divergence — threads of a warp at different program points
+  serialize, measured as SIMT efficiency (Fig. 1);
+* limited memory-level parallelism — each warp blocks on its dependent
+  node load, capping DRAM utilization (Figs. 1/13).
+"""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.device import GPU, KernelStats
+from repro.gpu.isa import AccelCall, Compute, Load
+
+__all__ = [
+    "GPUConfig",
+    "GPU",
+    "KernelStats",
+    "Compute",
+    "Load",
+    "AccelCall",
+]

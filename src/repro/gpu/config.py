@@ -1,0 +1,77 @@
+"""Simulator configuration (Table II of the paper).
+
+The clock-domain ratios of Table II (compute : interconnect : L2 :
+memory = 1365 : 1365 : 1365 : 3500 MHz) are folded into per-core-cycle
+bandwidths.  ``scaled`` shrinks the caches alongside a scaled-down
+workload so that a 64k-key tree stresses the hierarchy the way a 4M-key
+tree stresses the paper's 3MB L2 (see DESIGN.md §6).
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """All knobs of the behavioral GPU + accelerator model."""
+
+    # -- SIMT cores (Table II) ------------------------------------------------
+    n_sms: int = 8
+    warp_size: int = 32
+    max_warps_per_sm: int = 32
+    issue_width: int = 1            # instructions issued per SM per cycle
+
+    # -- memory hierarchy (Table II) -------------------------------------------
+    sector_size: int = 32
+    line_size: int = 128
+    l1_size: int = 64 * 1024        # per SM, fully associative LRU
+    l1_assoc: int = -1              # -1 = fully associative
+    l1_latency: int = 20
+    l2_size: int = 3 * 1024 * 1024  # shared, 16-way LRU
+    l2_assoc: int = 16
+    l2_latency: int = 160
+    l2_bytes_per_cycle: float = 512.0
+    dram_latency: int = 220
+    # 3500 MHz memory clock vs 1365 MHz core clock: a 2080 Ti-class
+    # 616 GB/s GDDR6 system moves ~450 bytes per 1.365 GHz core cycle;
+    # we model a slightly narrower 8-SM slice.
+    dram_bytes_per_cycle: float = 352.0
+    ldst_sectors_per_cycle: float = 1.0  # per-SM LDST sector throughput
+
+    # -- accelerator front end (Table II bottom + §III) -------------------------
+    tta_units_per_sm: int = 1
+    warp_buffer_warps: int = 4       # rays resident per accelerator
+    intersection_sets: int = 4       # parallel copies of the unit pair
+    mem_scheduler_reqs_per_cycle: float = 1.0
+    rta_issue_overhead: int = 10     # cycles to launch a traceRay per warp
+
+    # -- fixed-function intersection latencies (§II-B) ---------------------------
+    ray_box_latency: int = 13
+    ray_tri_latency: int = 37
+    # TTA's Query-Key reuse of the min/max network: a min-max-only
+    # configuration takes 3 cycles (Fig. 14 discussion).
+    query_key_latency: int = 13
+    point_dist_latency: int = 13
+
+    # -- TTA+ interconnect (§III-C) ---------------------------------------------
+    icnt_hop_latency: int = 2        # crossbar traversal per µop hand-off
+    icnt_width_bytes: int = 120
+
+    def scaled(self, factor: float) -> "GPUConfig":
+        """Shrink cache capacities by ``factor`` (for scaled-down workloads)."""
+        if factor <= 0 or factor > 1:
+            raise ValueError("scale factor must be in (0, 1]")
+
+        def shrink(size: int, floor: int) -> int:
+            return max(floor, int(size * factor))
+
+        return replace(
+            self,
+            l1_size=shrink(self.l1_size, 4 * self.line_size),
+            l2_size=shrink(self.l2_size, 16 * self.line_size * self.l2_assoc),
+        )
+
+    def with_overrides(self, **kwargs) -> "GPUConfig":
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = GPUConfig()

@@ -1,0 +1,153 @@
+"""The whole GPU: SMs + memory hierarchy + kernel launch interface."""
+
+import math
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import DEFAULT_CONFIG, GPUConfig
+from repro.gpu.sm import SM
+from repro.gpu.warp import Warp
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter
+
+KernelFn = Callable[[int, Any], Generator]
+
+
+class KernelStats:
+    """Everything a kernel launch produces besides functional results.
+
+    * ``warp_instructions`` — issued warp-level instructions by class
+      ("alu", "control", "sfu", "mem", "tta"); Fig. 20's breakdown.
+    * ``simt_efficiency`` — mean active-lane fraction per issued
+      instruction; Fig. 1's left metric.
+    * ``dram_utilization`` — DRAM busy fraction; Fig. 1/13's metric.
+    """
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.warp_instructions = Counter()
+        self.thread_instructions = Counter()
+        self._simt_issues = 0
+        self._simt_active = 0.0
+        self.mem_sectors = 0
+        self.accel_stats: Dict[str, Any] = {}
+        self.memory: Dict[str, float] = {}
+        self.l1_hit_rate = 0.0
+        self.notes: Dict[str, Any] = {}
+
+    # -- recording hooks used by SM -------------------------------------------
+    def count_compute(self, kind: str, n: int, active: int, warp_size: int):
+        self.warp_instructions.add(kind, n)
+        self.thread_instructions.add(kind, n * active)
+
+    def count_mem(self, active: int, warp_size: int, sectors: int,
+                  hit_l1: bool):
+        self.warp_instructions.add("mem", 1)
+        self.thread_instructions.add("mem", active)
+        self.mem_sectors += sectors
+
+    def count_accel(self, active: int, warp_size: int):
+        self.warp_instructions.add("tta", 1)
+        self.thread_instructions.add("tta", active)
+
+    def simt_issue(self, active: int, warp_size: int, n: int):
+        self._simt_issues += n
+        self._simt_active += (active / warp_size) * n
+
+    # -- derived metrics ---------------------------------------------------------
+    @property
+    def simt_efficiency(self) -> float:
+        if self._simt_issues == 0:
+            return 1.0
+        return self._simt_active / self._simt_issues
+
+    @property
+    def total_warp_instructions(self) -> float:
+        return self.warp_instructions.total()
+
+    @property
+    def dram_utilization(self) -> float:
+        return self.memory.get("dram_utilization", 0.0)
+
+    def instruction_breakdown(self) -> Dict[str, float]:
+        return self.warp_instructions.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelStats(cycles={self.cycles:.0f}, "
+            f"insts={self.total_warp_instructions:.0f}, "
+            f"simt_eff={self.simt_efficiency:.2f}, "
+            f"dram_util={self.dram_utilization:.2f})"
+        )
+
+
+class GPU:
+    """A fresh simulated GPU per launch (cold caches, zeroed stats).
+
+    ``accelerator_factory(sm) -> accelerator`` attaches an RTA/TTA/TTA+
+    model to every SM; kernels reach it by yielding
+    :class:`~repro.gpu.isa.AccelCall` ops.
+    """
+
+    def __init__(self, config: GPUConfig = DEFAULT_CONFIG,
+                 accelerator_factory=None):
+        self.config = config
+        self.accelerator_factory = accelerator_factory
+
+    def launch(self, kernel: KernelFn, n_threads: int, args: Any = None,
+               max_events: Optional[int] = None) -> KernelStats:
+        """Run ``kernel`` over ``n_threads`` threads to completion."""
+        if n_threads <= 0:
+            raise ConfigurationError("kernel needs at least one thread")
+        cfg = self.config
+        sim = Simulator()
+        hierarchy = MemoryHierarchy(sim, cfg)
+        stats = KernelStats()
+        sms: List[SM] = [
+            SM(sim, i, cfg, hierarchy, stats, self.accelerator_factory)
+            for i in range(cfg.n_sms)
+        ]
+
+        n_warps = math.ceil(n_threads / cfg.warp_size)
+        for warp_id in range(n_warps):
+            first = warp_id * cfg.warp_size
+            thread_ids = range(first, min(first + cfg.warp_size, n_threads))
+            threads = [kernel(tid, args) for tid in thread_ids]
+            sms[warp_id % cfg.n_sms].add_warp(Warp(warp_id, threads))
+
+        for sm in sms:
+            sm.start()
+        sim.run(max_events=max_events)
+
+        stats.cycles = sim.now
+        stats.memory = hierarchy.stats(sim.now)
+        l1_acc = sum(sm.l1.accesses for sm in sms)
+        l1_hits = sum(sm.l1.hits for sm in sms)
+        stats.l1_hit_rate = l1_hits / l1_acc if l1_acc else 0.0
+        accels = [sm.accelerator for sm in sms if sm.accelerator is not None]
+        if accels:
+            stats.accel_stats = self._merge_accel_stats(accels, sim.now)
+        stats.notes["n_threads"] = n_threads
+        stats.notes["n_warps"] = n_warps
+        return stats
+
+    @staticmethod
+    def _merge_accel_stats(accels, end: float) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        contributors: Dict[str, int] = {}
+        per_accel = [a.snapshot(end) for a in accels]
+        for snap in per_accel:
+            for key, value in snap.items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0.0) + value
+                    contributors[key] = contributors.get(key, 0) + 1
+        for key in list(merged):
+            if key.endswith("_avg") or key.endswith("_util") or \
+                    key.endswith("_mean"):
+                # Rate-like metrics: average over the accelerators that
+                # actually reported them (idle accelerators would skew
+                # the mean toward zero).
+                merged[key] /= contributors[key]
+        merged["per_accel"] = per_accel
+        return merged

@@ -1,0 +1,122 @@
+"""Streaming Multiprocessor: issue port, LDST unit, warp scheduling.
+
+Scheduling is greedy-then-oldest in effect: a warp that acquires the
+issue port keeps it for its whole compute block (greedy), and blocked
+warps re-arbitrate in FIFO order (oldest).  Warps beyond the residency
+limit (Table II: 32/SM) launch in waves as slots free up.
+"""
+
+from typing import List
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import AccelCall, Compute, Load, Store
+from repro.gpu.warp import Warp
+from repro.memsys.coalescer import coalesce_sectors
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.sim.engine import Simulator
+from repro.sim.resources import Timeline
+
+
+class SM:
+    """One streaming multiprocessor with an optional attached accelerator."""
+
+    def __init__(self, sim: Simulator, sm_id: int, config: GPUConfig,
+                 hierarchy: MemoryHierarchy, stats,
+                 accelerator_factory=None):
+        self.sim = sim
+        self.sm_id = sm_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.l1 = hierarchy.make_l1(sm_id)
+        self.issue_port = Timeline(f"sm{sm_id}.issue")
+        self.ldst = Timeline(f"sm{sm_id}.ldst")
+        self.warp_queue: List[Warp] = []
+        self.accelerator = (accelerator_factory(self)
+                            if accelerator_factory is not None else None)
+        self._done_count = 0
+
+    # -- launch ----------------------------------------------------------------
+    def add_warp(self, warp: Warp) -> None:
+        self.warp_queue.append(warp)
+
+    def start(self) -> None:
+        slots = min(self.config.max_warps_per_sm, len(self.warp_queue))
+        for _ in range(slots):
+            self.sim.spawn(self._slot())
+
+    def _slot(self):
+        """One residency slot: runs queued warps back to back."""
+        while self.warp_queue:
+            warp = self.warp_queue.pop(0)
+            yield from self._run_warp(warp)
+            self._done_count += 1
+
+    # -- warp execution ------------------------------------------------------
+    def _run_warp(self, warp: Warp):
+        sim = self.sim
+        cfg = self.config
+        warp.prime()
+        while warp.alive:
+            groups = warp.live_groups()
+            tag = min(groups)
+            tids = groups[tag]
+            op = warp.pending[tids[0]]
+            active = len(tids)
+            results = {}
+
+            if isinstance(op, Compute):
+                n = max(warp.pending[t].n for t in tids)
+                start = self.issue_port.acquire(sim.now, n / cfg.issue_width)
+                wait = start + n / cfg.issue_width - sim.now
+                if wait > 0:
+                    yield wait
+                self.stats.count_compute(op.kind, n, active, cfg.warp_size)
+
+            elif isinstance(op, Load):
+                start = self.issue_port.acquire(sim.now, 1)
+                requests = [(warp.pending[t].addr, warp.pending[t].size)
+                            for t in tids]
+                sectors = coalesce_sectors(requests, cfg.sector_size)
+                ldst_start = self.ldst.acquire(
+                    max(sim.now, start + 1),
+                    len(sectors) / cfg.ldst_sectors_per_cycle)
+                ready = self.hierarchy.access_sectors(
+                    ldst_start + len(sectors) / cfg.ldst_sectors_per_cycle,
+                    self.l1, sectors)
+                self.stats.count_mem(active, cfg.warp_size, len(sectors),
+                                     hit_l1=False)
+                wait = ready - sim.now
+                if wait > 0:
+                    yield wait  # in-order: block until the slowest lane's data
+
+            elif isinstance(op, Store):
+                start = self.issue_port.acquire(sim.now, 1)
+                requests = [(warp.pending[t].addr, warp.pending[t].size)
+                            for t in tids]
+                sectors = coalesce_sectors(requests, cfg.sector_size)
+                self.ldst.acquire(max(sim.now, start + 1),
+                                  len(sectors) / cfg.ldst_sectors_per_cycle)
+                # Write-through, fire-and-forget: charge DRAM bandwidth only.
+                self.hierarchy.dram.transfer(sim.now, len(sectors)
+                                             * cfg.sector_size)
+                self.stats.count_mem(active, cfg.warp_size, len(sectors),
+                                     hit_l1=False)
+                wait = start + 1 - sim.now
+                if wait > 0:
+                    yield wait
+
+            elif isinstance(op, AccelCall):
+                start = self.issue_port.acquire(sim.now, 1)
+                wait = start + 1 - sim.now
+                if wait > 0:
+                    yield wait
+                payloads = [warp.pending[t].payload for t in tids]
+                signal = self.accelerator.submit(sim.now, payloads)
+                per_query = yield signal
+                results = {t: per_query[i] for i, t in enumerate(tids)}
+                self.stats.count_accel(active, cfg.warp_size)
+
+            self.stats.simt_issue(active, cfg.warp_size,
+                                  op.n if isinstance(op, Compute) else 1)
+            warp.step(tids, results)

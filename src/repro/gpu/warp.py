@@ -1,0 +1,48 @@
+"""Warps: bundles of thread generators executed in SIMT lockstep."""
+
+from typing import Any, Generator, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.gpu.isa import OP_TYPES
+
+
+class Warp:
+    """Up to ``warp_size`` thread generators plus their pending ops."""
+
+    def __init__(self, warp_id: int, threads: Sequence[Generator]):
+        self.warp_id = warp_id
+        self.threads: List[Generator] = list(threads)
+        self.pending: List[Optional[Any]] = [None] * len(self.threads)
+
+    def prime(self) -> None:
+        """Advance every thread to its first op."""
+        for tid in range(len(self.threads)):
+            self.pending[tid] = self._advance(tid, None)
+
+    def _advance(self, tid: int, value: Any):
+        try:
+            op = self.threads[tid].send(value)
+        except StopIteration:
+            return None
+        if not isinstance(op, OP_TYPES):
+            raise SimulationError(
+                f"thread yielded {op!r}; kernels must yield ISA descriptors"
+            )
+        return op
+
+    def live_groups(self):
+        """Bucket live threads by tag; returns {tag: [tid, ...]}."""
+        groups = {}
+        for tid, op in enumerate(self.pending):
+            if op is not None:
+                groups.setdefault(op.tag, []).append(tid)
+        return groups
+
+    def step(self, tids: Sequence[int], results) -> None:
+        """Advance the given threads past their current op."""
+        for tid in tids:
+            self.pending[tid] = self._advance(tid, results.get(tid))
+
+    @property
+    def alive(self) -> bool:
+        return any(op is not None for op in self.pending)

@@ -1,0 +1,35 @@
+"""Experiment harness: one entry point per paper figure/table.
+
+``repro.harness.experiments`` exposes ``fig01`` ... ``fig20`` and
+``table1``/``table3``/``table4`` functions; each runs the relevant
+workloads on the relevant platforms at a configurable scale and returns
+a :class:`~repro.harness.results.Table` shaped like the paper's figure,
+with the paper's reported values alongside for comparison.
+"""
+
+from repro.harness.results import Table, geomean
+from repro.harness.runner import (
+    RunResult,
+    run_btree,
+    run_knn,
+    run_lumibench,
+    run_nbody,
+    run_rtnn,
+    run_rtree,
+    run_wknd,
+    scaled_config_for,
+)
+
+__all__ = [
+    "Table",
+    "geomean",
+    "RunResult",
+    "run_btree",
+    "run_nbody",
+    "run_rtnn",
+    "run_rtree",
+    "run_knn",
+    "run_wknd",
+    "run_lumibench",
+    "scaled_config_for",
+]

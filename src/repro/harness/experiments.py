@@ -1,0 +1,493 @@
+"""One experiment per paper figure/table.
+
+Each ``figNN`` function runs the relevant workloads at the requested
+scale ("smoke" for tests, "small" for default benches, "large" for
+longer, closer-to-paper runs — also selectable via the ``REPRO_SCALE``
+environment variable) and returns a :class:`~repro.harness.results.Table`
+shaped like the paper's figure, with paper-reported values alongside.
+"""
+
+import os
+from typing import Dict, Optional
+
+from repro.gpu.config import DEFAULT_CONFIG, GPUConfig
+from repro.harness import paper
+from repro.harness.results import Table, geomean
+from repro.harness.runner import (
+    RunResult,
+    run_btree,
+    run_lumibench,
+    run_nbody,
+    run_rtnn,
+    run_wknd,
+    scaled_config_for,
+)
+from repro.workloads import (
+    LUMIBENCH_SUITE,
+    make_btree_workload,
+    make_lumibench_workload,
+    make_nbody_workload,
+    make_rtnn_workload,
+    make_wknd_workload,
+)
+
+#: Per-scale workload parameters.  "small" keeps every figure's bench
+#: under a couple of minutes; "large" roughly quadruples the work.
+SCALES: Dict[str, Dict] = {
+    "smoke": dict(
+        btree_sweep=[(2048, 2048)],
+        btree_main=(2048, 2048),
+        nbody_bodies=384,
+        rtnn=(2048, 384),
+        lumi_res=8,
+        wknd=dict(res=8, spheres=160, bounces=1),
+    ),
+    "small": dict(
+        btree_sweep=[(4096, 16384), (16384, 8192), (65536, 8192)],
+        btree_main=(16384, 8192),
+        nbody_bodies=1024,
+        rtnn=(8192, 1024),
+        lumi_res=12,
+        wknd=dict(res=16, spheres=420, bounces=2),
+    ),
+    "large": dict(
+        btree_sweep=[(4096, 32768), (16384, 16384), (65536, 16384),
+                     (262144, 16384)],
+        btree_main=(65536, 16384),
+        nbody_bodies=2048,
+        rtnn=(16384, 2048),
+        lumi_res=16,
+        wknd=dict(res=20, spheres=640, bounces=2),
+    ),
+}
+
+#: Cache geometry used for the ray-tracing workloads: procedural scenes
+#: are far smaller than LumiBench assets, so the caches shrink with them
+#: to keep node fetches memory-dominated (DESIGN.md §6).
+RT_CONFIG = DEFAULT_CONFIG.with_overrides(l1_size=512, l2_size=4096,
+                                          l2_assoc=8)
+
+_CACHE: Dict = {}
+
+
+def params(scale: Optional[str] = None) -> Dict:
+    scale = scale or os.environ.get("REPRO_SCALE", "small")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; pick from {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def _cached(key, builder):
+    if key not in _CACHE:
+        _CACHE[key] = builder()
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+# -- shared runs --------------------------------------------------------------------
+def _btree_run(variant: str, n_keys: int, n_queries: int, platform: str,
+               config: GPUConfig = None, **kw) -> RunResult:
+    wl = _cached(("btree", variant, n_keys, n_queries),
+                 lambda: make_btree_workload(variant, n_keys, n_queries,
+                                             seed=1))
+    cfg = config or scaled_config_for(wl.image.size_bytes)
+    return _cached(("btree_run", variant, n_keys, n_queries, platform,
+                    cfg, tuple(sorted(kw.items()))),
+                   lambda: run_btree(wl, platform, config=cfg, **kw))
+
+
+def _nbody_run(dims: int, n_bodies: int, platform: str,
+               fused: int = 0) -> RunResult:
+    wl = _cached(("nbody", dims, n_bodies),
+                 lambda: make_nbody_workload(n_bodies, dims=dims, seed=2,
+                                             theta=0.6))
+    cfg = scaled_config_for(wl.image.size_bytes)
+    return _cached(("nbody_run", dims, n_bodies, platform, fused),
+                   lambda: run_nbody(wl, platform, config=cfg,
+                                     fused_post_insts=fused))
+
+
+def _rtnn_run(n_points: int, n_queries: int, platform: str) -> RunResult:
+    wl = _cached(("rtnn", n_points, n_queries),
+                 lambda: make_rtnn_workload(n_points, n_queries, radius=1.0,
+                                            seed=3))
+    cfg = scaled_config_for(wl.image.size_bytes, pressure=20.0)
+    return _cached(("rtnn_run", n_points, n_queries, platform),
+                   lambda: run_rtnn(wl, platform, config=cfg))
+
+
+def _wknd_run(platform: str, scale: Dict, **kw) -> RunResult:
+    w = scale["wknd"]
+    wl = _cached(("wknd", w["res"], w["spheres"], w["bounces"]),
+                 lambda: make_wknd_workload(width=w["res"], height=w["res"],
+                                            n_spheres=w["spheres"],
+                                            bounces=w["bounces"]))
+    return _cached(("wknd_run", w["res"], w["spheres"], platform,
+                    tuple(sorted(kw.items()))),
+                   lambda: run_wknd(wl, platform, config=RT_CONFIG, **kw))
+
+
+def _lumi_run(name: str, platform: str, res: int) -> RunResult:
+    wl = _cached(("lumi", name, res),
+                 lambda: make_lumibench_workload(name, width=res, height=res))
+    return _cached(("lumi_run", name, platform, res),
+                   lambda: run_lumibench(wl, platform, config=RT_CONFIG))
+
+
+# -- Fig. 1: motivation -------------------------------------------------------------
+def fig01_motivation(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 1 — SIMT efficiency and DRAM bandwidth utilization",
+        ["workload", "simt_eff(gpu)", "simt_eff(paper)",
+         "dram(gpu)", "dram(gpu,paper)", "dram(+tta)", "dram(+tta,paper)"],
+    )
+    rows = [("btree", lambda pl: _btree_run("btree", nk, nq, pl)),
+            ("bstar", lambda pl: _btree_run("bstar", nk, nq, pl)),
+            ("bplus", lambda pl: _btree_run("bplus", nk, nq, pl)),
+            ("nbody2d", lambda pl: _nbody_run(2, p["nbody_bodies"], pl)),
+            ("nbody3d", lambda pl: _nbody_run(3, p["nbody_bodies"], pl))]
+    for name, runner in rows:
+        base = runner("gpu")
+        tta = runner("tta")
+        table.add_row(
+            name, base.simt_efficiency,
+            paper.FIG1_SIMT_EFFICIENCY[name],
+            base.dram_utilization, paper.FIG1_DRAM_UTIL_GPU[name],
+            tta.dram_utilization, paper.FIG1_DRAM_UTIL_TTA[name],
+        )
+    # The paper's rightmost bars: ray tracing, where the RTA already
+    # fixes the divergence (software traversal vs hardware traceRay).
+    sw = _lumi_run("BUNNY_SH", "gpu", p["lumi_res"])
+    hw = _lumi_run("BUNNY_SH", "rta", p["lumi_res"])
+    table.add_row("raytrace", sw.simt_efficiency, 0.45,
+                  sw.dram_utilization, 0.15,
+                  hw.dram_utilization, 0.30)
+    return table
+
+
+# -- Fig. 6: roofline ---------------------------------------------------------------
+def fig06_roofline(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    cfg = DEFAULT_CONFIG
+    peak_flops_per_cycle = cfg.n_sms * cfg.warp_size  # 1 FMA lane each
+    table = Table(
+        "Fig. 6 — roofline placement of tree traversal workloads",
+        ["workload", "flops/byte", "achieved_ops_per_cycle",
+         "peak_ops_per_cycle", "bw_roof_ops_per_cycle", "bound"],
+    )
+    runs = [("btree", _btree_run("btree", nk, nq, "gpu")),
+            ("bplus", _btree_run("bplus", nk, nq, "gpu")),
+            ("nbody3d", _nbody_run(3, p["nbody_bodies"], "gpu")),
+            ("rtnn", _rtnn_run(*p["rtnn"], "gpu"))]
+    for name, run in runs:
+        flops = run.stats.thread_instructions.get("alu") + \
+            run.stats.thread_instructions.get("sfu")
+        dram_bytes = max(1.0, run.stats.memory["dram_bytes"])
+        intensity = flops / dram_bytes
+        achieved = flops / run.cycles
+        bw_roof = intensity * DEFAULT_CONFIG.dram_bytes_per_cycle
+        bound = "memory" if bw_roof < peak_flops_per_cycle else "compute"
+        table.add_row(name, intensity, achieved, peak_flops_per_cycle,
+                      bw_roof, bound)
+    return table
+
+
+# -- Fig. 12: speedups ------------------------------------------------------------
+def fig12_speedup(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    table = Table(
+        "Fig. 12 — speedup over baseline (CUDA apps vs GPU, RT apps vs RTA)",
+        ["workload", "config", "tta", "ttaplus", "paper_range"],
+    )
+    tta_speedups = []
+    for variant in ("btree", "bstar", "bplus"):
+        for nk, nq in p["btree_sweep"]:
+            base = _btree_run(variant, nk, nq, "gpu")
+            tta = _btree_run(variant, nk, nq, "tta")
+            tp = _btree_run(variant, nk, nq, "ttaplus")
+            s_tta = tta.speedup_over(base)
+            tta_speedups.append(s_tta)
+            table.add_row(variant, f"{nk}k/{nq}q", s_tta,
+                          tp.speedup_over(base),
+                          str(paper.FIG12_SPEEDUP_TTA[variant]))
+    for dims in (2, 3):
+        base = _nbody_run(dims, p["nbody_bodies"], "gpu")
+        tta = _nbody_run(dims, p["nbody_bodies"], "tta")
+        tp = _nbody_run(dims, p["nbody_bodies"], "ttaplus")
+        table.add_row(f"nbody{dims}d", f"{p['nbody_bodies']}b",
+                      tta.speedup_over(base), tp.speedup_over(base),
+                      str(paper.FIG12_SPEEDUP_TTA[f"nbody{dims}d"]))
+    # RT apps: relative to the baseline RTA implementation (RTNN).
+    rta = _rtnn_run(*p["rtnn"], "rta")
+    for label, platform, key in (
+            ("rtnn(tta)", "tta", "rtnn_tta"),
+            ("rtnn(naive)", "ttaplus", "rtnn_ttaplus_naive"),
+            ("*rtnn", "ttaplus_opt", "rtnn_ttaplus_opt")):
+        run = _rtnn_run(*p["rtnn"], platform)
+        table.add_row(label, f"{p['rtnn'][0]}pts", run.speedup_over(rta),
+                      float("nan"),
+                      str(paper.FIG12_RT_SPEEDUP_OVER_RTA[key]))
+    table.rows.append(["geomean(btree family, tta)", "", geomean(tta_speedups),
+                       "", str(paper.HEADLINES["btree_family_speedup_geomean"])])
+    return table
+
+
+# -- Fig. 13: DRAM utilization ------------------------------------------------------
+def fig13_dram(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 13 — DRAM bandwidth utilization per platform",
+        ["workload", "gpu", "rta", "tta", "ttaplus"],
+    )
+    for variant in ("btree", "bstar", "bplus"):
+        table.add_row(
+            variant,
+            _btree_run(variant, nk, nq, "gpu").dram_utilization,
+            float("nan"),  # baseline RTA cannot run B-Tree queries
+            _btree_run(variant, nk, nq, "tta").dram_utilization,
+            _btree_run(variant, nk, nq, "ttaplus").dram_utilization,
+        )
+    for dims in (2, 3):
+        table.add_row(
+            f"nbody{dims}d",
+            _nbody_run(dims, p["nbody_bodies"], "gpu").dram_utilization,
+            float("nan"),
+            _nbody_run(dims, p["nbody_bodies"], "tta").dram_utilization,
+            _nbody_run(dims, p["nbody_bodies"], "ttaplus").dram_utilization,
+        )
+    table.add_row(
+        "rtnn",
+        _rtnn_run(*p["rtnn"], "gpu").dram_utilization,
+        _rtnn_run(*p["rtnn"], "rta").dram_utilization,
+        _rtnn_run(*p["rtnn"], "tta").dram_utilization,
+        _rtnn_run(*p["rtnn"], "ttaplus_opt").dram_utilization,
+    )
+    return table
+
+
+# -- Fig. 14: TTA sensitivity ---------------------------------------------------------
+def fig14_sensitivity(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 14 — B-Tree TTA sensitivity to warp buffer size and latency",
+        ["variant", "knob", "value", "speedup_vs_gpu"],
+    )
+    for variant in ("btree", "bstar", "bplus"):
+        wl = _cached(("btree", variant, nk, nq),
+                     lambda v=variant: make_btree_workload(v, nk, nq, seed=1))
+        cfg0 = scaled_config_for(wl.image.size_bytes)
+        base = _btree_run(variant, nk, nq, "gpu")
+        for warps in (1, 2, 4, 8, 16):
+            cfg = cfg0.with_overrides(warp_buffer_warps=warps)
+            run = run_btree(wl, "tta", config=cfg, verify=False)
+            table.add_row(variant, "warp_buffer", warps,
+                          run.speedup_over(base))
+        from repro.gpu import GPU
+        from repro.kernels.btree_search import btree_accel_kernel
+        from repro.rta.rta import make_rta_factory
+        for latency, label in ((3, "minmax-only(3cy)"), (13, "default(13cy)"),
+                               (130, "10x(130cy)")):
+            gpu = GPU(cfg0, accelerator_factory=make_rta_factory(
+                tta=True, latency_overrides={"query_key": latency}))
+            args = wl.kernel_args(jobs=wl.jobs("tta"))
+            stats = gpu.launch(btree_accel_kernel, wl.n_queries, args=args)
+            table.add_row(variant, "isect_latency", label,
+                          base.cycles / stats.cycles)
+    return table
+
+
+# -- Fig. 15: TTA intersection unit utilization -----------------------------------------
+def fig15_unit_util(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 15 — TTA intersection-unit concurrency (avg / peak in flight)",
+        ["workload", "unit", "avg_inflight", "peak_inflight"],
+    )
+    runs = [("btree", _btree_run("btree", nk, nq, "tta"), ["query_key"]),
+            ("nbody3d", _nbody_run(3, p["nbody_bodies"], "tta"),
+             ["point_dist"]),
+            ("rtnn", _rtnn_run(*p["rtnn"], "tta"),
+             ["box", "point_dist"])]
+    for name, run, units in runs:
+        acc = run.stats.accel_stats
+        for unit in units:
+            table.add_row(name, unit,
+                          acc.get(f"{unit}_occupancy_avg", 0.0),
+                          acc.get(f"{unit}_occupancy_peak", 0))
+    return table
+
+
+# -- Fig. 16: LumiBench on TTA+ ---------------------------------------------------------
+def fig16_lumibench(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    res = p["lumi_res"]
+    table = Table(
+        "Fig. 16 — ray tracing on TTA+ relative to baseline RTA",
+        ["workload", "ttaplus/rta", "optimized/rta", "paper"],
+    )
+    ratios = []
+    for spec in LUMIBENCH_SUITE:
+        rta = _lumi_run(spec.name, "rta", res)
+        tp = _lumi_run(spec.name, "ttaplus", res)
+        ratio = rta.cycles / tp.cycles
+        ratios.append(ratio)
+        opt = float("nan")
+        if spec.sato_capable:
+            opt = rta.cycles / _lumi_run(spec.name, "ttaplus_opt", res).cycles
+        table.add_row(spec.name, ratio, opt, "~0.92 mean")
+    wk_rta = _wknd_run("rta", p)
+    wk_tp = _wknd_run("ttaplus", p)
+    wk_opt = _wknd_run("ttaplus_opt", p)
+    table.add_row("WKND_PT", wk_rta.cycles / wk_tp.cycles,
+                  wk_rta.cycles / wk_opt.cycles,
+                  f"opt = {paper.HEADLINES['wknd_opt_improvement']}x naive")
+    ratios.append(wk_rta.cycles / wk_tp.cycles)
+    table.add_row("geomean", geomean(ratios), float("nan"),
+                  str(paper.HEADLINES["lumibench_ttaplus_slowdown"]))
+    return table
+
+
+# -- Fig. 17: limit study ----------------------------------------------------------------
+def fig17_limit_study(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    table = Table(
+        "Fig. 17 — WKND_PT limit study on TTA+ (relative to baseline RTA)",
+        ["config", "WKND_PT", "*WKND_PT"],
+    )
+    rta = _wknd_run("rta", p)
+
+    def rel(platform, **kw):
+        return rta.cycles / _wknd_run(platform, p, **kw).cycles
+
+    table.add_row("TTA+", rel("ttaplus"), rel("ttaplus_opt"))
+    table.add_row("Perf. RT (zero-latency node fetch)",
+                  rel("ttaplus", perfect_node_fetch=True),
+                  rel("ttaplus_opt", perfect_node_fetch=True))
+    table.add_row("Perf. Mem (zero-latency memory)",
+                  rel("ttaplus", perfect_mem=True),
+                  rel("ttaplus_opt", perfect_mem=True))
+    return table
+
+
+# -- Fig. 18: OP unit utilization and intersection latency --------------------------------
+def fig18_opunits(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 18 — TTA+ OP-unit utilization (top) / intersection latency "
+        "(bottom)",
+        ["workload", "kind", "name", "value"],
+    )
+    runs = [("btree", _btree_run("btree", nk, nq, "ttaplus")),
+            ("nbody3d", _nbody_run(3, p["nbody_bodies"], "ttaplus")),
+            ("*rtnn", _rtnn_run(*p["rtnn"], "ttaplus_opt")),
+            ("wknd", _wknd_run("ttaplus_opt", p))]
+    for name, run in runs:
+        acc = run.stats.accel_stats
+        for key, value in sorted(acc.items()):
+            if key.startswith("op_") and key.endswith("_util") and value > 0:
+                table.add_row(name, "util", key[3:-5], value)
+            if key.startswith("test_") and key.endswith("_latency_mean") \
+                    and value > 0:
+                table.add_row(name, "latency", key[5:-13], value)
+    return table
+
+
+# -- Fig. 19: energy -------------------------------------------------------------------
+def fig19_energy(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 19 — energy normalized to the baseline GPU (BASE)",
+        ["workload", "platform", "compute_core", "warp_buffer",
+         "intersection", "total"],
+    )
+
+    def add(name, base_run, run, platform):
+        norm = run.energy.normalized_to(base_run.energy)
+        table.add_row(name, platform, norm["compute_core"],
+                      norm["warp_buffer"], norm["intersection"],
+                      norm["total"])
+
+    for variant in ("btree", "bstar", "bplus"):
+        base = _btree_run(variant, nk, nq, "gpu")
+        add(variant, base, base, "base")
+        add(variant, base, _btree_run(variant, nk, nq, "tta"), "tta")
+        add(variant, base, _btree_run(variant, nk, nq, "ttaplus"), "ttaplus")
+    for dims in (2, 3):
+        base = _nbody_run(dims, p["nbody_bodies"], "gpu")
+        add(f"nbody{dims}d", base, base, "base")
+        add(f"nbody{dims}d", base, _nbody_run(dims, p["nbody_bodies"], "tta"),
+            "tta")
+        add(f"nbody{dims}d", base,
+            _nbody_run(dims, p["nbody_bodies"], "ttaplus"), "ttaplus")
+    rta = _rtnn_run(*p["rtnn"], "rta")
+    add("rtnn", rta, rta, "rta(base)")
+    add("rtnn", rta, _rtnn_run(*p["rtnn"], "tta"), "tta")
+    add("rtnn", rta, _rtnn_run(*p["rtnn"], "ttaplus_opt"), "*rtnn")
+    return table
+
+
+# -- Fig. 20: dynamic instruction breakdown ------------------------------------------------
+def fig20_instructions(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    nk, nq = p["btree_main"]
+    table = Table(
+        "Fig. 20 — dynamically executed warp instructions (normalized)",
+        ["workload", "platform", "alu", "control", "sfu", "mem", "tta",
+         "total_vs_base"],
+    )
+    cases = [("btree", lambda pl: _btree_run("btree", nk, nq, pl)),
+             ("bstar", lambda pl: _btree_run("bstar", nk, nq, pl)),
+             ("bplus", lambda pl: _btree_run("bplus", nk, nq, pl)),
+             ("nbody3d", lambda pl: _nbody_run(3, p["nbody_bodies"], pl))]
+    reductions = []
+    for name, runner in cases:
+        base = runner("gpu")
+        base_total = base.stats.total_warp_instructions
+        for platform in ("gpu", "tta", "ttaplus"):
+            run = runner(platform)
+            br = run.stats.warp_instructions
+            total = run.stats.total_warp_instructions
+            table.add_row(name, platform,
+                          br.get("alu") / base_total,
+                          br.get("control") / base_total,
+                          br.get("sfu") / base_total,
+                          br.get("mem") / base_total,
+                          br.get("tta") / base_total,
+                          total / base_total)
+            if platform == "tta":
+                reductions.append(1.0 - total / base_total)
+    table.add_row("mean reduction (tta)", "", float("nan"), float("nan"),
+                  float("nan"), float("nan"), float("nan"),
+                  sum(reductions) / len(reductions))
+    return table
+
+
+# -- N-Body kernel fusion (§V-A text) --------------------------------------------------
+def nbody_fusion(scale: Optional[str] = None) -> Table:
+    p = params(scale)
+    table = Table(
+        "§V-A — N-Body traversal/post-processing kernel fusion on TTA+",
+        ["config", "speedup_vs_gpu", "paper"],
+    )
+    post = 120  # post-processing instructions per body (integration etc.)
+    base = _nbody_run(3, p["nbody_bodies"], "gpu", fused=post)
+    separate = _nbody_run(3, p["nbody_bodies"], "ttaplus", fused=0)
+    fused = _nbody_run(3, p["nbody_bodies"], "ttaplus", fused=post)
+    # The separate-kernels configuration pays the post-processing serially
+    # on the cores after the traversal kernel completes.
+    separate_total = separate.cycles + (base.cycles * 0.25)
+    table.add_row("TTA+ separate kernels", base.cycles / separate_total, "-")
+    table.add_row("TTA+ fused", base.cycles / fused.cycles,
+                  str(paper.HEADLINES["nbody_fused_speedup"]))
+    return table

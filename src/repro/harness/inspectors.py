@@ -1,0 +1,97 @@
+"""Workload inspection: tree-shape and traversal statistics.
+
+Answers the questions a user asks before trusting a data point: how
+deep is the tree, how full are its nodes, how many nodes does a query
+visit, and how divergent would a warp of those queries be.  Used by the
+examples and handy when calibrating new workloads.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class TreeShape:
+    """Structural statistics of any tree exposing ``nodes()``."""
+
+    n_nodes: int
+    n_leaves: int
+    height: int
+    mean_fanout: float
+    fill_histogram: Dict[int, int]
+
+    def format(self) -> str:
+        fills = ", ".join(f"{w}:{c}" for w, c in
+                          sorted(self.fill_histogram.items()))
+        return (f"nodes={self.n_nodes} leaves={self.n_leaves} "
+                f"height={self.height} mean_fanout={self.mean_fanout:.2f} "
+                f"fill={{{fills}}}")
+
+
+def tree_shape(tree) -> TreeShape:
+    """Compute :class:`TreeShape` for B-Trees, R-Trees, BVHs, octrees..."""
+    nodes = tree.nodes()
+    n_leaves = 0
+    fanouts: List[int] = []
+    fill: Dict[int, int] = {}
+    for node in nodes:
+        children = [c for c in (getattr(node, "children", None) or [])
+                    if c is not None]
+        if children:
+            fanouts.append(len(children))
+            fill[len(children)] = fill.get(len(children), 0) + 1
+        else:
+            n_leaves += 1
+    height = tree.height() if hasattr(tree, "height") else tree.depth()
+    mean_fanout = sum(fanouts) / len(fanouts) if fanouts else 0.0
+    return TreeShape(len(nodes), n_leaves, height, mean_fanout, fill)
+
+
+@dataclass
+class TraversalProfile:
+    """Distribution of per-query traversal work."""
+
+    n_queries: int
+    mean_visits: float
+    min_visits: int
+    max_visits: int
+    p95_visits: float
+    #: expected warp efficiency if 32 consecutive queries shared a warp
+    #: and serialized on the longest traversal
+    warp_tail_efficiency: float
+
+    def format(self) -> str:
+        return (f"queries={self.n_queries} visits: mean={self.mean_visits:.1f} "
+                f"min={self.min_visits} max={self.max_visits} "
+                f"p95={self.p95_visits:.0f} "
+                f"warp_tail_eff={self.warp_tail_efficiency:.2f}")
+
+
+def traversal_profile(visit_counts: Sequence[int],
+                      warp_size: int = 32) -> TraversalProfile:
+    """Summarize per-query visit counts (from jobs or traces)."""
+    if not visit_counts:
+        raise ValueError("need at least one traversal")
+    counts = sorted(visit_counts)
+    n = len(counts)
+    p95 = counts[min(n - 1, math.ceil(0.95 * n) - 1)]
+    # Tail effect: each warp pays for its slowest lane.
+    total, padded = 0, 0
+    for first in range(0, n, warp_size):
+        warp = visit_counts[first:first + warp_size]
+        total += sum(warp)
+        padded += max(warp) * len(warp)
+    return TraversalProfile(
+        n_queries=n,
+        mean_visits=sum(counts) / n,
+        min_visits=counts[0],
+        max_visits=counts[-1],
+        p95_visits=float(p95),
+        warp_tail_efficiency=total / padded if padded else 1.0,
+    )
+
+
+def job_visit_counts(jobs) -> List[int]:
+    """Visit counts from a list of accelerator jobs."""
+    return [len(job.steps) for job in jobs]

@@ -1,0 +1,118 @@
+"""Dependency-free chart rendering for experiment tables.
+
+The paper's artifact ships matplotlib scripts (``plot_speedup.py``,
+``plot_dram.py``, ...); this module is their offline-friendly
+equivalent: horizontal bar charts rendered as text, one bar per table
+row, grouped by an optional category column.  Used by
+``python -m repro run --plot`` and directly importable.
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.harness.results import Table
+
+BAR_WIDTH = 42
+FULL = "█"
+PARTIAL = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def _bar(value: float, max_value: float, width: int = BAR_WIDTH) -> str:
+    if max_value <= 0 or value <= 0:
+        return ""
+    fraction = min(1.0, value / max_value)
+    eighths = int(round(fraction * width * 8))
+    full, rem = divmod(eighths, 8)
+    return FULL * full + PARTIAL[rem]
+
+
+def bar_chart(table: Table, value_column: str,
+              label_columns: Optional[Sequence[str]] = None,
+              reference: Optional[float] = None,
+              title: Optional[str] = None) -> str:
+    """Render one numeric column of a table as a horizontal bar chart.
+
+    ``reference`` draws a marker line (e.g. 1.0 for speedup charts) as a
+    ``|`` in each bar's track.  Non-numeric/NaN rows are skipped.
+    """
+    value_idx = table.headers.index(value_column)
+    if label_columns is None:
+        label_columns = table.headers[:value_idx]
+    label_idx = [table.headers.index(c) for c in label_columns]
+
+    rows = []
+    for row in table.rows:
+        value = row[value_idx]
+        if not isinstance(value, (int, float)) or value != value:
+            continue
+        label = " ".join(str(row[i]) for i in label_idx).strip()
+        rows.append((label, float(value)))
+    if not rows:
+        return f"{title or table.title}\n(no numeric data)"
+
+    max_value = max(v for _l, v in rows)
+    if reference is not None:
+        max_value = max(max_value, reference)
+    label_width = max(len(l) for l, _v in rows)
+    ref_pos = (int(round(reference / max_value * BAR_WIDTH))
+               if reference else None)
+
+    out = [title or f"{table.title} — {value_column}"]
+    out.append("-" * len(out[0]))
+    for label, value in rows:
+        bar = _bar(value, max_value)
+        track = list(bar.ljust(BAR_WIDTH))
+        if ref_pos is not None and 0 <= ref_pos < BAR_WIDTH \
+                and track[ref_pos] == " ":
+            track[ref_pos] = "|"
+        out.append(f"{label.ljust(label_width)}  {''.join(track)} "
+                   f"{value:.3g}")
+    if reference is not None:
+        out.append(f"{''.ljust(label_width)}  ('|' marks {reference:g})")
+    return "\n".join(out)
+
+
+def auto_plots(name: str, table: Table) -> List[str]:
+    """Figure-appropriate charts for each known experiment table."""
+    charts: List[str] = []
+
+    def has(col):
+        return col in table.headers
+
+    if name == "fig12" and has("tta"):
+        charts.append(bar_chart(table, "tta",
+                                label_columns=["workload", "config"],
+                                reference=1.0,
+                                title="Fig. 12 — TTA speedup over baseline"))
+        charts.append(bar_chart(table, "ttaplus",
+                                label_columns=["workload", "config"],
+                                reference=1.0,
+                                title="Fig. 12 — TTA+ speedup over baseline"))
+    elif name == "fig13":
+        for column in ("gpu", "tta", "ttaplus"):
+            if has(column):
+                charts.append(bar_chart(
+                    table, column, label_columns=["workload"],
+                    title=f"Fig. 13 — DRAM utilization ({column})"))
+    elif name == "fig16" and has("ttaplus/rta"):
+        charts.append(bar_chart(table, "ttaplus/rta",
+                                label_columns=["workload"], reference=1.0))
+    elif name == "fig19" and has("total"):
+        charts.append(bar_chart(table, "total",
+                                label_columns=["workload", "platform"],
+                                reference=1.0,
+                                title="Fig. 19 — energy vs BASE"))
+    elif name == "fig20" and has("total_vs_base"):
+        charts.append(bar_chart(table, "total_vs_base",
+                                label_columns=["workload", "platform"],
+                                title="Fig. 20 — instructions vs BASE"))
+    elif name == "fig14" and has("speedup_vs_gpu"):
+        charts.append(bar_chart(table, "speedup_vs_gpu",
+                                label_columns=["variant", "knob", "value"],
+                                reference=1.0))
+    else:
+        numeric = [h for h in table.headers
+                   if any(isinstance(r[table.headers.index(h)], (int, float))
+                          for r in table.rows)]
+        if len(numeric) >= 1 and len(table.rows) >= 2:
+            charts.append(bar_chart(table, numeric[-1]))
+    return charts

@@ -1,0 +1,151 @@
+"""Barnes-Hut N-Body force-walk kernels (2D and 3D).
+
+The *baseline* follows the Burtscher-Pingali CUDA formulation: the
+whole warp walks one union traversal (cells opened if any lane votes to
+open), every lane executing every visit predicated — high SIMT
+efficiency, extra node work, force math on the cores.
+
+On the accelerators each body walks only *its own* path (the RTA handles
+per-ray control flow, advantage (2) of §II-C):
+
+* **TTA** — inner opening tests and leaf screening run as Point-to-Point
+  distance ops; the gathered interactions' force math (which needs SQRT)
+  runs on the SIMT cores after the traversal returns, one block per
+  thread.
+* **TTA+** — the force computation itself runs on the accelerator as the
+  5-µop leaf program of Table III (3 MUL + SQRT + R-XFORM), keeping the
+  whole walk on the accelerator at the price of µop overheads (the
+  "particularly sensitive to TTA+ overheads" point of §V-A).
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.errors import ConfigurationError
+from repro.gpu.isa import AccelCall, Compute
+from repro.kernels import common
+from repro.kernels.common import epilogue, prologue, visit_header
+from repro.rta.traversal import Step, TraversalJob
+from repro.trees.layout import NODE_STRIDE
+
+#: vector subtract + dot + compare of Algorithm 2, scalarized
+_DIST_TEST_ALU = 10
+#: open-or-approximate branch + child push loop
+_OPEN_CONTROL = 4
+#: force math: subtract, r^2, rsqrt, scale, accumulate
+_FORCE_ALU = 14
+_FORCE_SFU = 2  # rsqrt on the special function unit
+
+
+@dataclass
+class NBodyKernelArgs:
+    """One launch of the force-computation kernel (one thread per body)."""
+
+    tree: Any
+    body_buf: int
+    accel_buf: int
+    #: per-warp union traces for the baseline (warp-voting walk)
+    warp_traces: List[tuple] = field(default_factory=list)
+    jobs: List[TraversalJob] = field(default_factory=list)
+    #: per-body interaction counts for the TTA post-traversal force block
+    interactions: List[int] = field(default_factory=list)
+    results: dict = field(default_factory=dict)
+    #: extra post-processing instructions fused into the kernel (the
+    #: kernel-merging optimization of §V-A); 0 = separate kernels
+    fused_post_insts: int = 0
+    warp_size: int = 32
+
+
+def nbody_baseline_kernel(tid: int, args: NBodyKernelArgs):
+    """Warp-voting union walk: converged control flow, predicated lanes."""
+    body = args.tree.bodies[tid]
+    visits = args.warp_traces[tid // args.warp_size]
+    yield from prologue(args.body_buf + tid * 16, setup_alu=6)
+    for event in visits:
+        yield from visit_header(event.node.address, NODE_STRIDE)
+        if event.kind == "inner":
+            yield Compute(_DIST_TEST_ALU, common.TAG_INNER, kind="alu")
+            yield Compute(_OPEN_CONTROL, common.TAG_INNER_NEXT,
+                          kind="control")
+            if not event.opened:
+                # Approximated cell: predicated force math for all lanes.
+                yield Compute(_FORCE_ALU, common.TAG_INNER_NEXT, kind="alu")
+                yield Compute(_FORCE_SFU, common.TAG_INNER_NEXT, kind="sfu")
+        else:
+            yield Compute(_FORCE_ALU, common.TAG_LEAF, kind="alu")
+            yield Compute(_FORCE_SFU, common.TAG_LEAF, kind="sfu")
+    if args.fused_post_insts:
+        yield Compute(args.fused_post_insts, common.TAG_EPILOGUE - 1,
+                      kind="alu")
+    yield from epilogue(args.accel_buf + tid * 12)
+    # Functional result from the body's own (exact) walk.
+    args.results[tid] = args.tree.force_on(body).acceleration
+
+
+def nbody_accel_kernel(tid: int, args: NBodyKernelArgs):
+    yield from prologue(args.body_buf + tid * 16, setup_alu=6)
+    yield Compute(3, common.TAG_SETUP + 1, kind="alu")
+    acceleration = yield AccelCall(args.jobs[tid], tag=common.TAG_SETUP + 2)
+    if args.interactions:
+        # TTA path: force math for the gathered interactions on the cores.
+        n = args.interactions[tid]
+        yield Compute(_FORCE_ALU * n, common.TAG_SETUP + 3, kind="alu")
+        yield Compute(_FORCE_SFU * n, common.TAG_SETUP + 3, kind="sfu")
+    if args.fused_post_insts:
+        # Fused post-processing overlaps with other warps' traversals.
+        yield Compute(args.fused_post_insts, common.TAG_EPILOGUE - 1,
+                      kind="alu")
+    yield from epilogue(args.accel_buf + tid * 12)
+    args.results[tid] = acceleration
+
+
+def build_warp_traces(tree, warp_size: int = 32) -> List[tuple]:
+    """Union (warp-voting) traces, one per warp of consecutive bodies."""
+    traces = []
+    bodies = tree.bodies
+    for first in range(0, len(bodies), warp_size):
+        traces.append(tree.warp_walk(bodies[first:first + warp_size]))
+    return traces
+
+
+def build_nbody_jobs(tree, flavor: str = "tta"):
+    """Lower each body's walk into accelerator steps.
+
+    Returns ``(jobs, interactions)``; ``interactions[i]`` is the number
+    of force interactions body ``i`` gathered (used by the TTA kernel's
+    post-traversal force block; empty list for TTA+, which computes
+    forces on the accelerator).
+    """
+    if flavor not in ("tta", "ttaplus"):
+        raise ConfigurationError(
+            f"N-Body needs Point-to-Point support (got flavor {flavor!r})"
+        )
+    jobs: List[TraversalJob] = []
+    interactions: List[int] = []
+    for body in tree.bodies:
+        walk = tree.force_on(body)
+        steps: List[Step] = []
+        n_force = 0
+        for event in walk.visits:
+            if event.kind == "inner":
+                op = "point_dist" if flavor == "tta" else "uop:nbody_inner"
+                steps.append(Step(event.node.address, NODE_STRIDE, op))
+                if not event.opened:
+                    n_force += 1
+                    if flavor == "ttaplus":
+                        steps.append(Step(-1, 0, "uop:nbody_leaf"))
+            else:
+                n_force += 1
+                if flavor == "tta":
+                    # Screen the candidate with the Point-to-Point unit;
+                    # the force math runs on the cores afterwards.
+                    steps.append(Step(event.node.address, NODE_STRIDE,
+                                      "point_dist"))
+                else:
+                    steps.append(Step(event.node.address, NODE_STRIDE,
+                                      "uop:nbody_leaf"))
+        jobs.append(TraversalJob(body.body_id, steps, walk.acceleration))
+        interactions.append(n_force)
+    if flavor == "ttaplus":
+        interactions = []
+    return jobs, interactions

@@ -1,0 +1,20 @@
+"""GPU memory system model: caches, DRAM, coalescing, address space.
+
+The hierarchy follows the Table II configuration of the paper's
+Vulkan-Sim setup: per-SM L1 (fully associative LRU), a shared
+set-associative L2, and DRAM modelled as a bandwidth-limited resource
+whose busy fraction is the paper's "DRAM bandwidth utilization" metric
+(Figs. 1 and 13).
+"""
+
+from repro.memsys.cache import Cache
+from repro.memsys.coalescer import coalesce_sectors
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.memory_image import AddressSpace
+
+__all__ = [
+    "Cache",
+    "coalesce_sectors",
+    "MemoryHierarchy",
+    "AddressSpace",
+]

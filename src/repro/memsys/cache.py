@@ -1,0 +1,79 @@
+"""Set-associative LRU cache model (functional tags only).
+
+Timing is applied by :class:`~repro.memsys.hierarchy.MemoryHierarchy`;
+this class answers hit/miss and maintains replacement state.  A fully
+associative cache (the paper's L1 data cache) is a single set.
+"""
+
+from collections import OrderedDict
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class Cache:
+    """LRU cache tags over fixed-size lines."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_size: int = 128):
+        if size_bytes <= 0 or line_size <= 0:
+            raise ConfigurationError(f"{name}: sizes must be positive")
+        lines = size_bytes // line_size
+        if lines == 0:
+            raise ConfigurationError(f"{name}: smaller than one line")
+        if assoc <= 0 or assoc == -1:
+            assoc = lines  # fully associative
+        assoc = min(assoc, lines)
+        if lines % assoc != 0:
+            raise ConfigurationError(
+                f"{name}: {lines} lines not divisible by assoc {assoc}"
+            )
+        self.name = name
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = lines // assoc
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    def _set_for(self, line_addr: int) -> OrderedDict:
+        return self._sets[(line_addr // self.line_size) % self.n_sets]
+
+    def line_of(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def lookup(self, addr: int) -> bool:
+        """Probe and update LRU; returns True on hit."""
+        line = self.line_of(addr)
+        cache_set = self._set_for(line)
+        self.accesses += 1
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return True
+        return False
+
+    def fill(self, addr: int) -> None:
+        """Install the line containing ``addr``, evicting LRU if needed."""
+        line = self.line_of(addr)
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return
+        if len(cache_set) >= self.assoc:
+            cache_set.popitem(last=False)
+        cache_set[line] = True
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name}, sets={self.n_sets}, assoc={self.assoc}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

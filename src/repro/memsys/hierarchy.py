@@ -1,0 +1,99 @@
+"""Timing model of the L1 → L2 → DRAM hierarchy.
+
+Completion times are computed analytically when a request arrives:
+every contended stage (per-SM LDST sector throughput, shared L2 port,
+DRAM channel) is an occupancy timeline, so queueing delay emerges from
+arrival order without per-cycle events.  Outstanding-miss merging
+(MSHR behaviour) is modelled at line granularity: a second request to a
+line already in flight piggybacks on the first fill and generates no
+extra DRAM traffic.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.memsys.cache import Cache
+from repro.memsys.coalescer import coalesce_sectors
+from repro.sim.engine import Simulator
+from repro.sim.resources import ThroughputResource
+
+
+class MemoryHierarchy:
+    """Shared L2 + DRAM; per-SM L1s are created via :meth:`make_l1`."""
+
+    def __init__(self, sim: Simulator, config: GPUConfig):
+        self.sim = sim
+        self.config = config
+        self.l2 = Cache("L2", config.l2_size, config.l2_assoc, config.line_size)
+        self.l2_port = ThroughputResource(
+            "l2_port", per_cycle=config.l2_bytes_per_cycle)
+        self.dram = ThroughputResource(
+            "dram", per_cycle=config.dram_bytes_per_cycle)
+        #: line address -> completion time of the in-flight fill
+        self._inflight: Dict[int, float] = {}
+        self.sector_requests = 0
+        self.mshr_merges = 0
+
+    def make_l1(self, sm_id: int) -> Cache:
+        return Cache(f"L1[{sm_id}]", self.config.l1_size,
+                     self.config.l1_assoc, self.config.line_size)
+
+    # -- access paths -----------------------------------------------------------
+    def access_sectors(self, now: float, l1: Cache,
+                       sector_addrs: List[int]) -> float:
+        """Serve a list of sector reads; return when the *last* one is ready."""
+        ready = now
+        for sector in sector_addrs:
+            ready = max(ready, self._access_one(now, l1, sector))
+        return ready
+
+    def access(self, now: float, l1: Cache,
+               requests: List[Tuple[int, int]]) -> float:
+        """Serve ``(addr, size)`` requests after coalescing into sectors."""
+        sectors = coalesce_sectors(requests, self.config.sector_size)
+        return self.access_sectors(now, l1, sectors)
+
+    def _access_one(self, now: float, l1: Cache, sector: int) -> float:
+        cfg = self.config
+        self.sector_requests += 1
+        if l1 is not None and l1.lookup(sector):
+            return now + cfg.l1_latency
+        # L1 miss: the line may already be on its way (from this or any SM).
+        line = self.l2.line_of(sector)
+        inflight = self._inflight.get(line)
+        if inflight is not None and inflight > now:
+            self.mshr_merges += 1
+            if l1 is not None:
+                l1.fill(sector)
+            return inflight
+        if self.l2.lookup(sector):
+            done = self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
+            if l1 is not None:
+                l1.fill(sector)
+            return done
+        # L2 miss: fetch a full line from DRAM, fill L2 and the requester L1.
+        l2_ready = self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
+        done = self.dram.transfer(l2_ready, cfg.line_size) + cfg.dram_latency
+        self._inflight[line] = done
+        self.l2.fill(sector)
+        if l1 is not None:
+            l1.fill(sector)
+        return done
+
+    # -- statistics ----------------------------------------------------------
+    def dram_utilization(self, end: float) -> float:
+        return self.dram.utilization(end)
+
+    def dram_bytes(self) -> float:
+        return self.dram.bytes_moved
+
+    def stats(self, end: float) -> Dict[str, float]:
+        return {
+            "sector_requests": self.sector_requests,
+            "mshr_merges": self.mshr_merges,
+            "l2_accesses": self.l2.accesses,
+            "l2_hit_rate": self.l2.hit_rate,
+            "dram_bytes": self.dram.bytes_moved,
+            "dram_requests": self.dram.requests,
+            "dram_utilization": self.dram_utilization(end),
+        }

@@ -1,0 +1,48 @@
+"""A flat global address space shared by trees, query and result buffers.
+
+``AddressSpace`` is a simple bump allocator with alignment plus a
+registry of :class:`~repro.trees.layout.TreeImage` regions so the
+functional side of a simulation can resolve a node address back to the
+node object that lives there.
+"""
+
+from typing import List, Optional
+
+from repro.errors import LayoutError
+from repro.trees.layout import TreeImage
+
+
+class AddressSpace:
+    """Bump allocator + region registry for one simulation's memory."""
+
+    def __init__(self, base: int = 0x1000):
+        self._cursor = base
+        self._images: List[TreeImage] = []
+
+    def alloc(self, size: int, align: int = 64) -> int:
+        """Reserve ``size`` bytes aligned to ``align``; return the base."""
+        if size <= 0:
+            raise LayoutError("allocation size must be positive")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise LayoutError(f"alignment must be a power of two, got {align}")
+        base = (self._cursor + align - 1) & ~(align - 1)
+        self._cursor = base + size
+        return base
+
+    def place_tree(self, nodes, node_stride: int = 64) -> TreeImage:
+        """Lay out a tree's nodes at the next free aligned region."""
+        nodes = list(nodes)
+        base = self.alloc(len(nodes) * node_stride, align=node_stride)
+        image = TreeImage(nodes, base=base, node_stride=node_stride)
+        self._images.append(image)
+        return image
+
+    def node_at(self, address: int) -> Optional[object]:
+        for image in self._images:
+            if image.contains(address):
+                return image.node_at(address)
+        return None
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor

@@ -1,0 +1,25 @@
+"""Baseline Ray-Tracing Accelerator (RTA) model.
+
+One RTA is attached to each SM (Table II).  The engine mirrors the
+Fig. 4a structure: a warp buffer admits up to ``4 warps x 32`` rays; a
+hardware memory scheduler issues one node request per cycle and merges
+duplicate node fetches; returned nodes are dispatched by the operation
+arbiter to fixed-function intersection pipelines (Ray-Box 13 cycles,
+Ray-Triangle 37 cycles, 4 parallel sets).
+
+Traversals are replayed from functional visit traces (see
+:mod:`repro.rta.traversal`), so the timing model is always attached to
+a functionally verified traversal.
+"""
+
+from repro.rta.rta import RTACore, make_rta_factory
+from repro.rta.traversal import Step, TraversalJob
+from repro.rta.units import FixedFunctionBackend
+
+__all__ = [
+    "RTACore",
+    "make_rta_factory",
+    "Step",
+    "TraversalJob",
+    "FixedFunctionBackend",
+]

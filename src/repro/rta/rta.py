@@ -1,0 +1,156 @@
+"""The accelerator core: admission, traversal replay, shader bounces.
+
+``RTACore`` is attached to an SM and receives work through
+``submit(now, jobs)`` (the :class:`~repro.gpu.isa.AccelCall` path).  Each
+job runs as its own simulation process:
+
+1. wait for a warp-buffer ray slot,
+2. for each step: fetch the node through the RTA memory scheduler,
+   then execute the step's operation on the backend (fixed-function
+   pools for RTA/TTA, µop programs for TTA+),
+3. ``shader`` steps suspend the traversal and occupy the host SM's
+   issue port — the expensive intersection-shader bounce that the
+   baseline needs for procedural geometry and that TTA+ eliminates.
+
+The submission's signal fires when all of its jobs complete, resuming
+the launching warp.
+"""
+
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+from repro.rta.mem_scheduler import RTAMemScheduler
+from repro.rta.traversal import Step, TraversalJob
+from repro.rta.units import FixedFunctionBackend
+from repro.rta.warp_buffer import WarpBuffer
+from repro.sim.stats import LatencySampler
+
+#: Fixed cost of suspending a traversal and scheduling shader threads on
+#: the SM (launch + result return), in cycles each way.
+SHADER_HANDOFF_CYCLES = 40
+
+
+class RTACore:
+    """One accelerator instance (RTA, TTA, or TTA+ depending on backend).
+
+    ``prefetch_depth`` models a treelet prefetcher [16]: while a node is
+    being processed, the next ``prefetch_depth`` node fetches of the
+    same traversal are issued ahead of time, overlapping their memory
+    latency with the current intersection test (one of the
+    "architectural improvements" §V-B says compose with TTA+).
+    """
+
+    def __init__(self, sm, backend, prefetch_depth: int = 0):
+        self.sm = sm
+        self.sim = sm.sim
+        self.config = sm.config
+        self.backend = backend
+        self.prefetch_depth = prefetch_depth
+        self.warp_buffer = WarpBuffer(self.sim,
+                                      self.config.warp_buffer_warps,
+                                      self.config.warp_size)
+        self.mem = RTAMemScheduler(self.sim, sm.hierarchy, sm.l1,
+                                   self.config.mem_scheduler_reqs_per_cycle)
+        self.traversal_latency = LatencySampler()
+        self.jobs_completed = 0
+        self.shader_bounces = 0
+        self.shader_cycles = 0.0
+        self._busy_jobs = 0
+
+    # -- submission interface (matches gpu.sm expectations) ---------------------
+    def submit(self, now: float, jobs: Iterable[TraversalJob]):
+        jobs = list(jobs)
+        if not jobs:
+            raise ConfigurationError("empty accelerator submission")
+        done_signal = self.sim.signal()
+        state = {"remaining": len(jobs)}
+        launch_at = now + self.config.rta_issue_overhead
+        for job in jobs:
+            self.sim.call_at(launch_at, self._start_job, job, state,
+                             done_signal, jobs)
+        return done_signal
+
+    def _start_job(self, job: TraversalJob, state: dict, done_signal,
+                   jobs: List[TraversalJob]) -> None:
+        self.sim.spawn(self._run_job(job, state, done_signal, jobs))
+
+    def _run_job(self, job: TraversalJob, state: dict, done_signal,
+                 jobs: List[TraversalJob]):
+        sim = self.sim
+        begin = sim.now
+        yield from self.warp_buffer.acquire()
+        self.warp_buffer.record_access(writes=1)  # install ray state
+        for index, step in enumerate(job.steps):
+            if step.address >= 0:
+                if self.prefetch_depth:
+                    for ahead in job.steps[index + 1:
+                                           index + 1 + self.prefetch_depth]:
+                        if ahead.address >= 0:
+                            self.mem.fetch(sim.now, ahead.address,
+                                           ahead.size)
+                ready = self.mem.fetch(sim.now, step.address, step.size)
+                if ready > sim.now:
+                    yield ready - sim.now
+            self.warp_buffer.record_access(reads=2, writes=1)
+            if step.op == "shader":
+                yield from self._run_shader(step)
+            else:
+                yield from self.backend.execute(sim.now, step.op, step.count)
+        self.warp_buffer.release()
+        self.traversal_latency.sample(sim.now - begin)
+        self.jobs_completed += 1
+        state["remaining"] -= 1
+        if state["remaining"] == 0:
+            done_signal.fire([j.result for j in jobs])
+
+    def _run_shader(self, step: Step):
+        """Bounce to the SM cores for an intersection shader invocation.
+
+        The driver batches shader invocations from many suspended rays
+        into full warps, so the *issue-port* cost is amortized across the
+        warp width, while the suspended ray still waits for the handoff
+        plus the scalar shader execution.
+        """
+        sim = self.sim
+        warp_size = self.config.warp_size
+        insts = step.shader_insts * step.count
+        self.shader_bounces += step.count
+        start = self.sm.issue_port.acquire(
+            sim.now + SHADER_HANDOFF_CYCLES,
+            max(1.0, insts / warp_size))
+        done = max(start + insts, sim.now + insts) + 2 * SHADER_HANDOFF_CYCLES
+        self.shader_cycles += done - sim.now
+        # Warp-batched: this ray's share of the shader warp's instructions.
+        self.sm.stats.count_compute("shader", insts / warp_size, warp_size,
+                                    warp_size)
+        yield done - sim.now
+
+    # -- statistics ---------------------------------------------------------------
+    def snapshot(self, end: float) -> dict:
+        snap = {
+            "jobs_completed": self.jobs_completed,
+            "traversal_latency_mean": self.traversal_latency.mean,
+            "shader_bounces": self.shader_bounces,
+            "shader_cycles": self.shader_cycles,
+        }
+        snap.update(self.warp_buffer.snapshot(end))
+        snap.update(self.mem.snapshot(end))
+        snap.update(self.backend.snapshot(end))
+        return snap
+
+
+def make_rta_factory(tta: bool = False, latency_overrides=None,
+                     prefetch_depth: int = 0):
+    """Factory for attaching a baseline RTA (or TTA) to every SM.
+
+    Use with :class:`repro.gpu.GPU`::
+
+        gpu = GPU(config, accelerator_factory=make_rta_factory(tta=True))
+    """
+
+    def factory(sm):
+        backend = FixedFunctionBackend(sm.sim, sm.config, tta=tta,
+                                       latency_overrides=latency_overrides)
+        return RTACore(sm, backend, prefetch_depth=prefetch_depth)
+
+    return factory

@@ -1,0 +1,69 @@
+"""Traversal jobs: the unit of work an accelerator executes.
+
+A job is a per-query sequence of :class:`Step`s produced by the
+*functional* traversal (B-Tree search path, BVH visit trace, Barnes-Hut
+walk), plus the functional result to hand back to the launching thread.
+Replaying steps keeps the timing and functional models in lockstep by
+construction — the accelerator can never "traverse" nodes the algorithm
+would not visit.
+
+Step kinds (``op``):
+
+==============  ==============================================================
+``box``         Ray-Box slab test on the fixed-function unit (13 cycles)
+``tri``         Ray-Triangle Möller-Trumbore test (37 cycles)
+``query_key``   TTA's 9-wide Query-Key comparison (modified Ray-Box unit)
+``point_dist``  TTA's Point-to-Point distance test (Ray-Triangle datapath)
+``xform``       Ray transform between BVH levels (R-XFORM)
+``shader``      Bounce to the SM cores (intersection shader) — the baseline
+                path for procedural geometry such as spheres
+``uop:<name>``  A TTA+ µop program (resolved by the TTA+ backend)
+==============  ==============================================================
+"""
+
+from typing import Any, List, NamedTuple, Sequence
+
+
+class Step(NamedTuple):
+    """One node visit: an optional fetch plus an operation.
+
+    ``address``/``size`` describe the node fetch (``address=-1`` skips the
+    fetch, e.g. for a pure ray-transform step).  ``count`` repeats the
+    operation (a leaf with k primitives issues k tests).  ``shader_insts``
+    is only used by ``op="shader"`` — the instruction cost charged to the
+    SM front end while the traversal is suspended.
+    """
+
+    address: int
+    size: int
+    op: str
+    count: int = 1
+    shader_insts: int = 0
+
+
+class TraversalJob:
+    """One query's traversal: steps to replay plus its functional result."""
+
+    __slots__ = ("query_id", "steps", "result", "warp_buffer_reads")
+
+    def __init__(self, query_id: int, steps: Sequence[Step], result: Any):
+        self.query_id = query_id
+        self.steps: List[Step] = list(steps)
+        self.result = result
+        # Each step reads the ray entry and writes state back (energy model).
+        self.warp_buffer_reads = 2 * len(self.steps)
+
+    @property
+    def node_fetches(self) -> int:
+        return sum(1 for s in self.steps if s.address >= 0)
+
+    def op_counts(self) -> dict:
+        counts = {}
+        for step in self.steps:
+            counts[step.op] = counts.get(step.op, 0) + step.count
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"TraversalJob(q={self.query_id}, steps={len(self.steps)})"
+        )

@@ -1,0 +1,135 @@
+"""Fixed-function intersection unit pools (baseline RTA and TTA).
+
+The baseline RTA exposes two pipelines per set — Ray-Box (13 cycles)
+and Ray-Triangle (37 cycles); Table II configures 4 sets.  TTA maps its
+two new operations onto the same silicon (§III-B):
+
+* ``query_key`` runs on the *modified* Ray-Box unit (min/max network plus
+  the added equality comparators — Fig. 9);
+* ``point_dist`` runs through the added datapath in the Ray-Triangle
+  unit (Fig. 8 (2)).
+
+Occupancy (queued + executing ops) and per-op latency are tracked per
+pool for Fig. 15.
+"""
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.sim.resources import PipelinedUnit
+
+
+class UnitPool:
+    """N identical pipelines; ops go to the least-recently-used copy."""
+
+    def __init__(self, name: str, latency: int, sets: int):
+        if sets < 1:
+            raise ConfigurationError(f"{name}: needs at least one set")
+        self.name = name
+        self.units: List[PipelinedUnit] = [
+            PipelinedUnit(f"{name}[{i}]", latency=latency, strict=False)
+            for i in range(sets)
+        ]
+        self._next = 0
+
+    def issue(self, now: float):
+        unit = self.units[self._next]
+        self._next = (self._next + 1) % len(self.units)
+        start, done = unit.issue(now)
+        return unit, start, done
+
+    @property
+    def ops(self) -> int:
+        return sum(u.ops for u in self.units)
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(u.busy_cycles for u in self.units)
+
+    def occupancy_average(self, end: float) -> float:
+        return sum(u.occupancy.average(end) for u in self.units)
+
+    def occupancy_peak(self) -> int:
+        return sum(u.occupancy.peak for u in self.units)
+
+    def latency_mean(self) -> float:
+        total = sum(u.latency_stats.total for u in self.units)
+        count = sum(u.latency_stats.count for u in self.units)
+        return total / count if count else 0.0
+
+
+class FixedFunctionBackend:
+    """Executes steps on the fixed-function pools.
+
+    ``supports`` enumerates the step kinds this hardware accepts; a TTA
+    supports the two new ops while the unmodified baseline RTA does not
+    (submitting an unsupported op is a configuration error — the paper's
+    point that e.g. WKND_PT's sphere test *cannot* run on TTA).
+    """
+
+    BASELINE_OPS = ("box", "tri", "xform")
+    TTA_OPS = BASELINE_OPS + ("query_key", "point_dist")
+
+    def __init__(self, sim, config: GPUConfig, tta: bool = False,
+                 latency_overrides: Dict[str, int] = None):
+        self.sim = sim
+        self.config = config
+        self.is_tta = tta
+        overrides = latency_overrides or {}
+        sets = config.intersection_sets
+
+        def lat(op: str, default: int) -> int:
+            return int(overrides.get(op, default))
+
+        self.pools: Dict[str, UnitPool] = {
+            "box": UnitPool("ray_box", lat("box", config.ray_box_latency),
+                            sets),
+            "tri": UnitPool("ray_tri", lat("tri", config.ray_tri_latency),
+                            sets),
+            "xform": UnitPool("xform", lat("xform", 4), sets),
+        }
+        if tta:
+            # Query-Key shares the (modified) Ray-Box silicon but is its
+            # own logical pool so Fig. 15 can report it separately.
+            self.pools["query_key"] = UnitPool(
+                "query_key", lat("query_key", config.query_key_latency), sets)
+            self.pools["point_dist"] = UnitPool(
+                "point_dist", lat("point_dist", config.point_dist_latency),
+                sets)
+        self.supports = self.TTA_OPS if tta else self.BASELINE_OPS
+
+    def execute(self, now: float, op: str, count: int):
+        """Issue ``count`` back-to-back ops; yields until the last finishes.
+
+        Returns a generator for use inside a sim process (``yield from``).
+        """
+        if op not in self.pools:
+            raise ConfigurationError(
+                f"operation {op!r} is not supported by this "
+                f"{'TTA' if self.is_tta else 'baseline RTA'}"
+            )
+        pool = self.pools[op]
+        done = now
+        completions = []
+        for _ in range(count):
+            unit, _start, unit_done = pool.issue(now)
+            completions.append((unit, unit_done))
+            done = max(done, unit_done)
+        if done > now:
+            yield done - now
+        for unit, unit_done in completions:
+            unit.complete(unit_done)
+
+    def snapshot(self, end: float) -> dict:
+        out = {}
+        for op, pool in self.pools.items():
+            out[f"{op}_ops"] = pool.ops
+            out[f"{op}_busy_cycles"] = pool.busy_cycles
+            if pool.ops:
+                # Rate metrics are only meaningful where the pool ran;
+                # idle accelerators omit them so merging stays unbiased.
+                out[f"{op}_occupancy_avg"] = pool.occupancy_average(end)
+                out[f"{op}_occupancy_peak"] = pool.occupancy_peak()
+                out[f"{op}_latency_mean"] = pool.latency_mean()
+        return out

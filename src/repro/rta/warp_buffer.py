@@ -1,0 +1,60 @@
+"""The RTA warp buffer: admission control plus access-energy accounting.
+
+The warp buffer holds per-ray state (traversal stack, origin/direction
+or, in TTA, the programmer-defined ray layout of Fig. 7).  Its capacity
+— ``warp_buffer_warps x 32`` rays — bounds how many traversals are in
+flight, which Fig. 14 shows is the dominant TTA performance knob.
+"""
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.stats import OccupancyTracker
+
+
+class WarpBuffer:
+    """Counting-semaphore admission over ray slots."""
+
+    def __init__(self, sim: Simulator, warps: int, warp_size: int = 32):
+        if warps < 1:
+            raise ConfigurationError("warp buffer needs at least one warp")
+        self.sim = sim
+        self.capacity = warps * warp_size
+        self._in_use = 0
+        self._waiters: List = []
+        self.occupancy = OccupancyTracker()
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self):
+        """Process helper: ``yield from buffer.acquire()`` blocks until a
+        ray slot is available."""
+        while self._in_use >= self.capacity:
+            signal = self.sim.signal()
+            self._waiters.append(signal)
+            yield signal
+        self._in_use += 1
+        self.occupancy.enter(self.sim.now)
+
+    def release(self) -> None:
+        self._in_use -= 1
+        self.occupancy.exit(self.sim.now)
+        if self._waiters:
+            self._waiters.pop(0).fire()
+
+    def record_access(self, reads: int = 0, writes: int = 0) -> None:
+        self.reads += reads
+        self.writes += writes
+
+    def snapshot(self, end: float) -> dict:
+        return {
+            "warp_buffer_reads": self.reads,
+            "warp_buffer_writes": self.writes,
+            "warp_buffer_occupancy_avg": self.occupancy.average(end),
+            "warp_buffer_occupancy_peak": self.occupancy.peak,
+        }

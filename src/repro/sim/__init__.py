@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+Every timing model in this package (SIMT cores, caches, DRAM, RTA/TTA/TTA+
+pipelines) is built on the primitives exported here:
+
+* :class:`~repro.sim.engine.Simulator` — the event queue and process runner.
+* :class:`~repro.sim.resources.PipelinedUnit` /
+  :class:`~repro.sim.resources.Timeline` /
+  :class:`~repro.sim.resources.ThroughputResource` — contended resources
+  modelled as occupancy timelines at cycle resolution.
+* :mod:`~repro.sim.stats` — counters, occupancy and latency trackers used
+  to produce the paper's utilization figures.
+"""
+
+from repro.sim.engine import Signal, Simulator
+from repro.sim.resources import PipelinedUnit, ThroughputResource, Timeline
+from repro.sim.stats import Counter, LatencySampler, OccupancyTracker
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Timeline",
+    "PipelinedUnit",
+    "ThroughputResource",
+    "Counter",
+    "OccupancyTracker",
+    "LatencySampler",
+]

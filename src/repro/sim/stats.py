@@ -1,0 +1,125 @@
+"""Statistics primitives shared by all timing models.
+
+The paper reports three families of dynamic statistics, all produced by
+these trackers:
+
+* utilization of a bandwidth resource (DRAM, Figs. 1/13) — fraction of
+  cycles the resource was busy;
+* occupancy of a pipeline (intersection / OP units, Figs. 15/18) —
+  time-weighted average and peak number of in-flight items;
+* latency distributions (average intersection latency, Fig. 18 bottom).
+"""
+
+from collections import defaultdict
+from typing import Dict, Iterable
+
+
+class Counter:
+    """A named bag of integer counters (dynamic instructions, accesses...)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def total(self, names: Iterable[str] = None) -> float:
+        if names is None:
+            return sum(self._counts.values())
+        return sum(self._counts.get(n, 0) for n in names)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({items})"
+
+
+class OccupancyTracker:
+    """Time-weighted occupancy of a unit (how many items are in flight).
+
+    ``enter``/``exit`` must be called with non-decreasing timestamps, which
+    the event-driven engine guarantees.  ``average(end)`` integrates the
+    occupancy curve up to ``end``; ``peak`` is the maximum instantaneous
+    occupancy ever observed.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._current = 0
+        self._last_time = 0.0
+        self._area = 0.0
+        self._strict = strict
+        self.peak = 0
+        self.entries = 0
+
+    def _advance(self, time: float) -> None:
+        if time < self._last_time:
+            if self._strict:
+                # Out-of-order samples can only come from a modelling bug.
+                raise ValueError(
+                    f"occupancy sample at {time} before {self._last_time}"
+                )
+            # Relaxed mode (analytic pipeline chains): clamp to last time.
+            time = self._last_time
+        self._area += self._current * (time - self._last_time)
+        self._last_time = time
+
+    def enter(self, time: float, count: int = 1) -> None:
+        self._advance(time)
+        self._current += count
+        self.entries += count
+        if self._current > self.peak:
+            self.peak = self._current
+
+    def exit(self, time: float, count: int = 1) -> None:
+        self._advance(time)
+        self._current -= count
+        if self._current < 0:
+            raise ValueError("occupancy went negative")
+
+    @property
+    def current(self) -> int:
+        return self._current
+
+    def average(self, end: float) -> float:
+        """Mean occupancy over [0, end]."""
+        if end <= 0:
+            return 0.0
+        area = self._area + self._current * max(0.0, end - self._last_time)
+        return area / end
+
+
+class LatencySampler:
+    """Streaming mean/min/max over latency samples."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def sample(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencySampler(count={self.count}, mean={self.mean:.2f}, "
+            f"min={self.min}, max={self.max})"
+        )

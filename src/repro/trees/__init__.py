@@ -1,0 +1,30 @@
+"""Tree data structures traversed by the accelerators.
+
+* :mod:`~repro.trees.btree` — B-Tree, B*Tree and B+Tree (9-wide, matching
+  the paper's evaluation configuration).
+* :mod:`~repro.trees.bvh` — bounding volume hierarchies (median-split and
+  binned-SAH builders) plus two-level TLAS/BLAS structures.
+* :mod:`~repro.trees.octree` — quadtree/octree with center-of-mass
+  aggregates for Barnes-Hut N-Body.
+* :mod:`~repro.trees.layout` — serialization of any tree into a flat
+  byte-addressable image so the memory system sees real addresses.
+"""
+
+from repro.trees.btree import BPlusTree, BStarTree, BTree
+from repro.trees.bvh import BVH, BVHNode, Instance, TwoLevelBVH
+from repro.trees.octree import BarnesHutTree
+from repro.trees.rtree import RTree
+from repro.trees.layout import TreeImage
+
+__all__ = [
+    "BTree",
+    "BStarTree",
+    "BPlusTree",
+    "BVH",
+    "BVHNode",
+    "Instance",
+    "TwoLevelBVH",
+    "BarnesHutTree",
+    "RTree",
+    "TreeImage",
+]

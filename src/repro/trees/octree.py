@@ -1,0 +1,280 @@
+"""Quadtree/octree with mass aggregates for Barnes-Hut N-Body.
+
+Inner nodes carry total mass and center of mass.  During a force walk
+the opening decision at an inner node is exactly the paper's
+Point-to-Point distance test (Algorithm 2): the cell is *opened* when
+the query body is closer to the cell's center of mass than
+``cell_size / theta`` — i.e. when ``point_distance_below(body, com,
+size/theta)`` holds — and otherwise approximated as a single particle.
+Leaf interactions perform the force computation, which on TTA+ maps to
+the 5-µop program in Table III (3 MUL + SQRT + R-XFORM).
+"""
+
+import math
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.intersect import point_distance_below
+from repro.geometry.vec import Vec3
+
+_MAX_DEPTH = 48  # beyond this, coincident bodies share a leaf
+
+
+class Body(NamedTuple):
+    """A point mass; ``vel`` is carried for integration steps."""
+
+    position: Vec3
+    mass: float
+    vel: Vec3
+    body_id: int
+
+
+def make_body(position: Vec3, mass: float, body_id: int,
+              vel: Vec3 = None) -> Body:
+    return Body(position, float(mass), vel if vel is not None else Vec3(),
+                body_id)
+
+
+class BHNode:
+    """One Barnes-Hut cell (2**dims children when subdivided).
+
+    Leaves hold a small list of bodies (normally one; more only when
+    bodies coincide beyond the maximum subdivision depth).
+    """
+
+    __slots__ = ("center", "half", "mass", "com", "children", "bodies",
+                 "count", "address")
+
+    def __init__(self, center: Vec3, half: float):
+        self.center = center
+        self.half = half
+        self.mass = 0.0
+        self.com = Vec3()
+        self.children: Optional[List[Optional["BHNode"]]] = None
+        self.bodies: List[Body] = []
+        self.count = 0
+        self.address = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def size(self) -> float:
+        return 2.0 * self.half
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "inner"
+        return f"BHNode({kind}, n={self.count})"
+
+
+class WalkEvent(NamedTuple):
+    node: BHNode
+    kind: str      # "inner" (distance test) | "leaf" (force computation)
+    opened: bool   # inner only: did the distance test force descent
+
+
+class ForceResult(NamedTuple):
+    acceleration: Vec3
+    visits: Tuple[WalkEvent, ...]
+
+
+class BarnesHutTree:
+    """Barnes-Hut tree over bodies in ``dims`` (2 or 3) dimensions."""
+
+    def __init__(self, bodies: Sequence[Body], dims: int = 3,
+                 theta: float = 0.5, softening: float = 1e-2,
+                 gravity: float = 1.0):
+        if dims not in (2, 3):
+            raise ConfigurationError("Barnes-Hut supports 2D and 3D only")
+        if not bodies:
+            raise ConfigurationError("need at least one body")
+        if theta <= 0:
+            raise ConfigurationError("theta must be positive")
+        self.dims = dims
+        self.theta = theta
+        self.softening = softening
+        self.gravity = gravity
+        self.bodies = list(bodies)
+        self.root = self._build()
+
+    # -- construction ---------------------------------------------------------
+    def _build(self) -> BHNode:
+        n = len(self.bodies)
+        cx = sum(b.position.x for b in self.bodies) / n
+        cy = sum(b.position.y for b in self.bodies) / n
+        cz = (sum(b.position.z for b in self.bodies) / n
+              if self.dims == 3 else 0.0)
+        center = Vec3(cx, cy, cz)
+        half = 1e-9
+        for b in self.bodies:
+            half = max(half,
+                       abs(b.position.x - center.x),
+                       abs(b.position.y - center.y),
+                       abs(b.position.z - center.z) if self.dims == 3 else 0.0)
+        root = BHNode(center, half * 1.001)
+        for body in self.bodies:
+            self._insert(root, body, depth=0)
+        self._aggregate(root)
+        return root
+
+    def _child_index(self, node: BHNode, p: Vec3) -> int:
+        idx = 0
+        if p.x >= node.center.x:
+            idx |= 1
+        if p.y >= node.center.y:
+            idx |= 2
+        if self.dims == 3 and p.z >= node.center.z:
+            idx |= 4
+        return idx
+
+    def _child_center(self, node: BHNode, idx: int) -> Vec3:
+        q = node.half * 0.5
+        return Vec3(
+            node.center.x + (q if idx & 1 else -q),
+            node.center.y + (q if idx & 2 else -q),
+            node.center.z + ((q if idx & 4 else -q) if self.dims == 3 else 0.0),
+        )
+
+    def _insert(self, node: BHNode, body: Body, depth: int) -> None:
+        node.count += 1
+        if node.is_leaf:
+            if not node.bodies or depth >= _MAX_DEPTH:
+                node.bodies.append(body)
+                return
+            # Split: re-home the residents, then place the new body.
+            residents, node.bodies = node.bodies, []
+            node.children = [None] * (2 ** self.dims)
+            for resident in residents:
+                self._insert_into_child(node, resident, depth)
+            self._insert_into_child(node, body, depth)
+            return
+        self._insert_into_child(node, body, depth)
+
+    def _insert_into_child(self, node: BHNode, body: Body, depth: int) -> None:
+        idx = self._child_index(node, body.position)
+        if node.children[idx] is None:
+            node.children[idx] = BHNode(self._child_center(node, idx),
+                                        node.half * 0.5)
+        self._insert(node.children[idx], body, depth + 1)
+
+    def _aggregate(self, node: BHNode) -> None:
+        if node.is_leaf:
+            node.mass = sum(b.mass for b in node.bodies)
+            if node.mass > 0:
+                weighted = Vec3()
+                for b in node.bodies:
+                    weighted = weighted + b.position * b.mass
+                node.com = weighted / node.mass
+            return
+        total_mass = 0.0
+        weighted = Vec3()
+        for child in node.children:
+            if child is None:
+                continue
+            self._aggregate(child)
+            total_mass += child.mass
+            weighted = weighted + child.com * child.mass
+        node.mass = total_mass
+        node.com = weighted / total_mass if total_mass > 0 else node.center
+
+    def nodes(self) -> List[BHNode]:
+        out, frontier = [], [self.root]
+        while frontier:
+            node = frontier.pop(0)
+            out.append(node)
+            if not node.is_leaf:
+                frontier.extend(c for c in node.children if c is not None)
+        return out
+
+    def depth(self) -> int:
+        def rec(node: BHNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(rec(c) for c in node.children if c is not None)
+        return rec(self.root)
+
+    # -- force walk -------------------------------------------------------------
+    def force_on(self, body: Body) -> ForceResult:
+        """Barnes-Hut force walk with a visit trace for the timing models."""
+        visits: List[WalkEvent] = []
+        acc = self._walk(self.root, body, visits)
+        return ForceResult(acc, tuple(visits))
+
+    def _walk(self, node: BHNode, body: Body, visits: List[WalkEvent]) -> Vec3:
+        if node.mass == 0.0:
+            return Vec3()
+        if node.is_leaf:
+            total = Vec3()
+            interacted = False
+            for other in node.bodies:
+                if other.body_id == body.body_id:
+                    continue
+                interacted = True
+                total = total + self._pair_force(body.position, other.position,
+                                                 other.mass)
+            if interacted:
+                visits.append(WalkEvent(node, "leaf", False))
+            return total
+        # Inner node: Algorithm 2 decides open-vs-approximate.
+        threshold = node.size / self.theta
+        open_cell = point_distance_below(body.position, node.com, threshold)
+        visits.append(WalkEvent(node, "inner", open_cell))
+        if not open_cell:
+            return self._pair_force(body.position, node.com, node.mass)
+        total = Vec3()
+        for child in node.children:
+            if child is not None:
+                total = total + self._walk(child, body, visits)
+        return total
+
+    def _pair_force(self, at: Vec3, source: Vec3, mass: float) -> Vec3:
+        d = source - at
+        dist2 = d.length_squared() + self.softening * self.softening
+        inv_dist = 1.0 / math.sqrt(dist2)
+        # a = G * m * d / |d|^3
+        return d * (self.gravity * mass * inv_dist * inv_dist * inv_dist)
+
+    def warp_walk(self, bodies: Sequence[Body]) -> Tuple[WalkEvent, ...]:
+        """One traversal for a whole warp, Burtscher-Pingali style.
+
+        Real CUDA Barnes-Hut kernels keep warps converged by voting: a
+        cell is opened if *any* lane needs it opened, and every lane
+        executes every visit (predicated off where irrelevant).  This is
+        the union traversal the baseline GPU kernel replays — more node
+        visits than any single lane needs, but no control divergence,
+        which is why N-Body shows high SIMT efficiency in Fig. 1.
+        """
+        visits: List[WalkEvent] = []
+        self._warp_walk(self.root, list(bodies), visits)
+        return tuple(visits)
+
+    def _warp_walk(self, node: BHNode, bodies: List[Body],
+                   visits: List[WalkEvent]) -> None:
+        if node.mass == 0.0:
+            return
+        if node.is_leaf:
+            if node.bodies:
+                visits.append(WalkEvent(node, "leaf", False))
+            return
+        threshold = node.size / self.theta
+        open_cell = any(
+            point_distance_below(b.position, node.com, threshold)
+            for b in bodies
+        )
+        visits.append(WalkEvent(node, "inner", open_cell))
+        if not open_cell:
+            return
+        for child in node.children:
+            if child is not None:
+                self._warp_walk(child, bodies, visits)
+
+    def direct_force_on(self, body: Body) -> Vec3:
+        """O(n) exact force — the golden reference for accuracy tests."""
+        total = Vec3()
+        for other in self.bodies:
+            if other.body_id == body.body_id:
+                continue
+            total = total + self._pair_force(body.position, other.position,
+                                             other.mass)
+        return total

@@ -1,0 +1,84 @@
+"""RTNN radius-search workloads [105] on synthetic LiDAR clouds (§IV-A).
+
+Each data point becomes a sphere of the query radius; queries are a
+random subset of the points themselves (the neighbor-search pattern of
+point-cloud processing).  Golden results come from brute-force range
+search over the raw points.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.sphere import Sphere
+from repro.geometry.vec import Vec3
+from repro.kernels.radius_search import (
+    RadiusKernelArgs,
+    build_radius_jobs,
+    radius_query,
+)
+from repro.memsys.memory_image import AddressSpace
+from repro.rta.traversal import TraversalJob
+from repro.trees.bvh import BVH
+from repro.trees.layout import TreeImage
+from repro.workloads.pointcloud import synth_lidar_cloud
+
+
+@dataclass
+class RTNNWorkload:
+    points: List[Vec3]
+    radius: float
+    bvh: BVH
+    image: TreeImage
+    space: AddressSpace
+    queries: List[Vec3]
+    query_buf: int
+    result_buf: int
+
+    def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> RadiusKernelArgs:
+        return RadiusKernelArgs(
+            bvh=self.bvh,
+            queries=self.queries,
+            radius=self.radius,
+            query_buf=self.query_buf,
+            result_buf=self.result_buf,
+            jobs=list(jobs),
+        )
+
+    def jobs(self, flavor: str) -> List[TraversalJob]:
+        return build_radius_jobs(self.bvh, self.queries, self.radius,
+                                 flavor=flavor)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def golden(self, query: Vec3) -> Tuple[int, ...]:
+        """Brute-force neighbor set for one query point."""
+        r2 = self.radius * self.radius
+        out = [i for i, p in enumerate(self.points)
+               if (p - query).length_squared() < r2]
+        return tuple(sorted(out))
+
+    def trace(self, query: Vec3):
+        return radius_query(self.bvh, query, self.radius)
+
+
+def make_rtnn_workload(n_points: int = 4096, n_queries: int = 512,
+                       radius: float = 1.0, seed: int = 0,
+                       max_leaf_size: int = 4) -> RTNNWorkload:
+    if n_queries < 1:
+        raise ConfigurationError("need at least one query")
+    points = synth_lidar_cloud(n_points, seed=seed)
+    spheres = [Sphere(p, radius, prim_id=i) for i, p in enumerate(points)]
+    bvh = BVH(spheres, max_leaf_size=max_leaf_size, method="sah")
+    rng = random.Random(seed + 1)
+    queries = [points[rng.randrange(n_points)] for _ in range(n_queries)]
+
+    space = AddressSpace()
+    image = space.place_tree(bvh.nodes())
+    query_buf = space.alloc(12 * n_queries, align=128)
+    result_buf = space.alloc(4 * n_queries, align=128)
+    return RTNNWorkload(points, radius, bvh, image, space, queries,
+                        query_buf, result_buf)

@@ -1,0 +1,110 @@
+"""Tests for the TTA+ µop assembler (the Listing 1 .asm format)."""
+
+import pytest
+
+from repro.core.ttaplus.asm import (
+    RAY_BOX_ASM,
+    AssembledProgram,
+    assemble,
+    assemble_file,
+)
+from repro.core.ttaplus.programs import PROGRAMS
+from repro.errors import ProgramError
+
+
+class TestAssemble:
+    def test_simple_program(self):
+        prog = assemble("p", "SUB a, b, c\nDOT d, a, a\nCMP r, d, t")
+        assert [u.unit for u in prog.uops] == ["vec3_addsub", "dot",
+                                               "vec3_cmp"]
+        assert prog.operands[0] == "a, b, c"
+
+    def test_repeat_syntax(self):
+        prog = assemble("p", "MUL x3 t, a, b")
+        assert [u.unit for u in prog.uops] == ["mul"] * 3
+
+    def test_comments_and_blanks_ignored(self):
+        prog = assemble("p", """
+        ; a comment
+        SQRT r, x   # trailing comment
+
+        XFORM o, m, r
+        """)
+        assert [u.unit for u in prog.uops] == ["sqrt", "rxform"]
+
+    def test_case_insensitive_mnemonics(self):
+        prog = assemble("p", "sub a\nMaxMin b")
+        assert [u.unit for u in prog.uops] == ["vec3_addsub", "maxmin"]
+
+    def test_term_records_pc(self):
+        prog = assemble("p", "CMP a\nOR b\nTERM b")
+        assert prog.terminate_pc == 1
+
+    def test_term_before_uops_rejected(self):
+        with pytest.raises(ProgramError, match="TERM before"):
+            assemble("p", "TERM x")
+
+    def test_duplicate_term_rejected(self):
+        with pytest.raises(ProgramError, match="duplicate TERM"):
+            assemble("p", "CMP a\nTERM a\nTERM a")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProgramError, match="FMA"):
+            assemble("p", "FMA a, b, c")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            assemble("p", "; nothing here\n")
+
+    def test_bad_repeat(self):
+        with pytest.raises(ProgramError):
+            assemble("p", "MUL x0 t")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ProgramError, match=":3:"):
+            assemble("p", "SUB a\nMUL b\nWARP c")
+
+
+class TestRayBoxAsm:
+    def test_matches_table3_raybox(self):
+        """RayBoxProg.asm must assemble to the Table III Ray-Box row."""
+        prog = assemble("raybox_asm", RAY_BOX_ASM)
+        assert len(prog) == 19
+        assert prog.unit_counts() == PROGRAMS["raybox"].unit_counts()
+
+    def test_terminate_pc_is_last_uop(self):
+        prog = assemble("raybox_asm", RAY_BOX_ASM)
+        assert prog.terminate_pc == len(prog) - 1
+
+
+class TestAssembleFile:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "MyTest.asm"
+        path.write_text("SUB a, b, c\nDOT d, a, a\n")
+        prog = assemble_file(str(path))
+        assert prog.name == "MyTest"
+        assert len(prog) == 2
+        assert isinstance(prog, AssembledProgram)
+
+    def test_runs_on_backend(self, tmp_path):
+        """An assembled program is executable by the TTA+ backend."""
+        from repro.core.ttaplus import TTAPlusBackend
+        from repro.core.ttaplus.programs import register_program
+        from repro.gpu.config import GPUConfig
+        from repro.sim import Simulator
+
+        prog = assemble("asm_backend_test", "SUB a\nSQRT b\nCMP c")
+        register_program(prog, replace=True)
+        backend = TTAPlusBackend(Simulator(), GPUConfig())
+        elapsed = {}
+
+        def proc():
+            start = backend.sim.now
+            yield from backend.execute(backend.sim.now,
+                                       "uop:asm_backend_test", 1)
+            elapsed["t"] = backend.sim.now - start
+
+        backend.sim.spawn(proc())
+        backend.sim.run()
+        # SUB(4) + SQRT(11) + CMP(1) + hand-offs: well over 16 cycles.
+        assert elapsed["t"] >= 16

@@ -1,0 +1,179 @@
+"""Unit and property tests for the B-Tree family."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trees import BPlusTree, BStarTree, BTree
+
+ALL_VARIANTS = [BTree, BStarTree, BPlusTree]
+
+
+@pytest.fixture(params=ALL_VARIANTS, ids=lambda c: c.__name__)
+def variant(request):
+    return request.param
+
+
+class TestInsertSearch:
+    def test_empty_tree_finds_nothing(self, variant):
+        tree = variant()
+        result = tree.search(42)
+        assert not result.found
+        assert len(result.path) == 1
+
+    def test_insert_then_search_all(self, variant):
+        tree = variant()
+        keys = random.Random(1).sample(range(10_000), 500)
+        for k in keys:
+            tree.insert(k)
+        tree.check_invariants()
+        for k in keys:
+            assert tree.search(k).found, f"key {k} lost"
+        for k in (-1, 10_001, 5_000_000):
+            assert not tree.search(k).found
+
+    def test_duplicate_insert_rejected(self, variant):
+        tree = variant()
+        tree.insert(5)
+        with pytest.raises(KeyError):
+            tree.insert(5)
+
+    def test_values_retrievable(self, variant):
+        tree = variant()
+        for k in range(100):
+            tree.insert(k, value=f"v{k}")
+        if variant.inner_match_terminates:
+            # Inner matches return the key itself; check a leaf-resident key.
+            res = tree.search(0)
+            assert res.found
+        else:
+            for k in (0, 50, 99):
+                assert tree.search(k).value == f"v{k}"
+
+    def test_sorted_order_maintained(self, variant):
+        tree = variant()
+        keys = random.Random(2).sample(range(100_000), 1000)
+        for k in keys:
+            tree.insert(k)
+        assert tree.keys_in_order() == sorted(keys)
+
+    def test_order_too_small_rejected(self, variant):
+        with pytest.raises(ConfigurationError):
+            variant(order=2)
+
+
+class TestBulkLoad:
+    def test_bulk_load_equals_insert_search(self, variant):
+        keys = sorted(random.Random(3).sample(range(1_000_000), 5000))
+        tree = variant.bulk_load(keys)
+        tree.check_invariants()
+        rng = random.Random(4)
+        for k in rng.sample(keys, 200):
+            assert tree.search(k).found
+        present = set(keys)
+        misses = 0
+        while misses < 100:
+            k = rng.randrange(1_000_000)
+            if k not in present:
+                misses += 1
+                assert not tree.search(k).found
+
+    def test_bulk_load_rejects_duplicates(self, variant):
+        with pytest.raises(ConfigurationError):
+            variant.bulk_load([1, 2, 2, 3])
+
+    def test_bulk_load_empty(self, variant):
+        tree = variant.bulk_load([])
+        assert len(tree) == 0
+        assert not tree.search(1).found
+
+    def test_bstar_is_denser_than_btree(self):
+        keys = list(range(20_000))
+        b = BTree.bulk_load(keys, seed=7)
+        bstar = BStarTree.bulk_load(keys, seed=7)
+        assert len(bstar.nodes()) <= len(b.nodes())
+
+    def test_height_grows_logarithmically(self, variant):
+        small = variant.bulk_load(list(range(100)))
+        large = variant.bulk_load(list(range(50_000)))
+        assert small.height() < large.height() <= 8
+
+
+class TestSearchTraces:
+    def test_path_starts_at_root_and_respects_parentage(self, variant):
+        tree = variant.bulk_load(list(range(0, 5000, 3)))
+        res = tree.search(999)
+        assert res.path[0] is tree.root
+        for parent, child in zip(res.path, res.path[1:]):
+            assert child in parent.children
+
+    def test_bplus_always_reaches_leaf_depth(self):
+        tree = BPlusTree.bulk_load(list(range(5000)))
+        height = tree.height()
+        for q in range(0, 5000, 97):
+            res = tree.search(q)
+            assert len(res.path) == height
+            assert res.path[-1].is_leaf
+
+    def test_btree_can_terminate_early_at_inner_node(self):
+        tree = BTree.bulk_load(list(range(5000)))
+        early = [tree.search(q) for q in range(5000)]
+        inner_hits = [r for r in early if r.found_at_inner]
+        assert inner_hits, "fence-key matches should terminate at inner nodes"
+        for r in inner_hits:
+            assert not r.path[-1].is_leaf
+
+    def test_bplus_never_terminates_early(self):
+        tree = BPlusTree.bulk_load(list(range(5000)))
+        for q in range(0, 5000, 13):
+            assert not tree.search(q).found_at_inner
+
+
+class TestStructure:
+    def test_nodes_bfs_root_first(self, variant):
+        tree = variant.bulk_load(list(range(2000)))
+        nodes = tree.nodes()
+        assert nodes[0] is tree.root
+        seen = {id(tree.root)}
+        for node in nodes:
+            for child in node.children:
+                assert id(child) not in seen
+                seen.add(id(child))
+        assert len(seen) == len(nodes)
+
+    def test_width_never_exceeds_order(self, variant):
+        tree = variant()
+        for k in random.Random(5).sample(range(100_000), 2000):
+            tree.insert(k)
+        for node in tree.nodes():
+            width = len(node.keys) if node.is_leaf else len(node.children)
+            assert width <= tree.order
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), unique=True,
+                min_size=1, max_size=300),
+       st.sampled_from(ALL_VARIANTS))
+@settings(max_examples=60, deadline=None)
+def test_property_search_matches_set_membership(keys, variant):
+    tree = variant()
+    for k in keys:
+        tree.insert(k)
+    tree.check_invariants()
+    present = set(keys)
+    probes = list(keys[:50]) + [k + 1 for k in keys[:25]] + [-5, 10**9 + 7]
+    for q in probes:
+        assert tree.search(q).found == (q in present)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10**9), min_size=1,
+               max_size=400),
+       st.sampled_from(ALL_VARIANTS),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_property_bulk_load_invariants(keys, variant, seed):
+    tree = variant.bulk_load(sorted(keys), seed=seed)
+    tree.check_invariants()
+    assert tree.keys_in_order() == sorted(keys)

@@ -1,0 +1,119 @@
+"""Tests for B-Tree deletion, rebalancing, and range scans."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import BPlusTree, BStarTree, BTree
+
+ALL_VARIANTS = [BTree, BStarTree, BPlusTree]
+
+
+@pytest.fixture(params=ALL_VARIANTS, ids=lambda c: c.__name__)
+def variant(request):
+    return request.param
+
+
+class TestDelete:
+    def test_delete_missing_raises(self, variant):
+        tree = variant.bulk_load([1, 2, 3])
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_delete_then_not_found(self, variant):
+        tree = variant.bulk_load(list(range(100)))
+        tree.delete(42)
+        assert not tree.search(42).found
+        assert tree.search(41).found and tree.search(43).found
+        assert len(tree) == 99
+
+    def test_delete_everything(self, variant):
+        keys = list(range(200))
+        tree = variant.bulk_load(keys)
+        rng = random.Random(1)
+        rng.shuffle(keys)
+        for i, key in enumerate(keys):
+            tree.delete(key)
+            if i % 37 == 0 and len(tree) > tree.order:
+                tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.keys_in_order() == []
+
+    def test_interleaved_insert_delete(self, variant):
+        tree = variant()
+        rng = random.Random(2)
+        alive = set()
+        for step in range(2000):
+            if alive and rng.random() < 0.4:
+                key = rng.choice(sorted(alive))
+                tree.delete(key)
+                alive.discard(key)
+            else:
+                key = rng.randrange(100_000)
+                if key not in alive:
+                    tree.insert(key)
+                    alive.add(key)
+        assert tree.keys_in_order() == sorted(alive)
+        if len(alive) > tree.order:
+            tree.check_invariants()
+
+    def test_rebalance_preserves_order(self, variant):
+        tree = variant.bulk_load(list(range(0, 1000, 3)))
+        for key in range(0, 500, 3):
+            tree.delete(key)
+        keys = tree.keys_in_order()
+        assert keys == sorted(keys) == list(range(501, 1000, 3))
+
+
+class TestRangeScan:
+    def test_scan_matches_filter(self, variant):
+        keys = sorted(random.Random(3).sample(range(10_000), 1500))
+        tree = variant.bulk_load(keys)
+        for lo, hi in ((0, 10_000), (500, 600), (9_990, 10_000), (42, 42)):
+            assert tree.range_scan(lo, hi) == \
+                [k for k in keys if lo <= k <= hi]
+
+    def test_empty_interval(self, variant):
+        tree = variant.bulk_load([1, 5, 9])
+        assert tree.range_scan(6, 8) == []
+        assert tree.range_scan(10, 5) == []
+
+    def test_scan_beyond_max(self, variant):
+        tree = variant.bulk_load([1, 5, 9])
+        assert tree.range_scan(100, 200) == []
+
+    def test_leaf_chain_complete_after_inserts(self, variant):
+        tree = variant()
+        for key in random.Random(4).sample(range(5000), 800):
+            tree.insert(key)
+        assert tree.range_scan(0, 5000) == tree.keys_in_order()
+
+    def test_leaf_chain_survives_deletes(self, variant):
+        keys = list(range(300))
+        tree = variant.bulk_load(keys)
+        for key in range(0, 300, 2):
+            tree.delete(key)
+        assert tree.range_scan(0, 300) == list(range(1, 300, 2))
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10**6), min_size=2,
+               max_size=250),
+       st.sampled_from(ALL_VARIANTS),
+       st.integers(min_value=0, max_value=10**4))
+@settings(max_examples=40, deadline=None)
+def test_property_delete_half_keeps_rest(keys, variant, seed):
+    keys = sorted(keys)
+    tree = variant.bulk_load(keys)
+    rng = random.Random(seed)
+    doomed = set(rng.sample(keys, len(keys) // 2))
+    for key in doomed:
+        tree.delete(key)
+    survivors = [k for k in keys if k not in doomed]
+    assert tree.keys_in_order() == survivors
+    for key in survivors[:20]:
+        assert tree.search(key).found
+    for key in list(doomed)[:20]:
+        assert not tree.search(key).found
+    assert tree.range_scan(0, 10**6) == survivors

@@ -1,0 +1,226 @@
+"""Unit and property tests for the BVH and two-level BVH."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry import Ray, Sphere, Triangle, Vec3
+from repro.geometry.sphere import ray_sphere_intersect
+from repro.geometry.triangle import ray_triangle_intersect
+from repro.trees import BVH, Instance, TwoLevelBVH
+
+
+def random_triangles(n, seed=0, span=10.0):
+    rng = random.Random(seed)
+
+    def v():
+        return Vec3(rng.uniform(-span, span), rng.uniform(-span, span),
+                    rng.uniform(-span, span))
+
+    tris = []
+    for i in range(n):
+        base = v()
+        tris.append(Triangle(base, base + Vec3(rng.uniform(0.1, 1), 0, 0),
+                             base + Vec3(0, rng.uniform(0.1, 1), 0), prim_id=i))
+    return tris
+
+
+def random_rays(n, seed=1, span=12.0):
+    rng = random.Random(seed)
+    rays = []
+    for _ in range(n):
+        origin = Vec3(rng.uniform(-span, span), rng.uniform(-span, span),
+                      rng.uniform(-span, span))
+        direction = Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                         rng.uniform(-1, 1))
+        if direction.length_squared() < 1e-6:
+            direction = Vec3(1, 0, 0)
+        rays.append(Ray(origin, direction.normalized()))
+    return rays
+
+
+def brute_force_closest(ray, tris):
+    best_t, best_id = math.inf, None
+    for tri in tris:
+        hit = ray_triangle_intersect(ray, tri)
+        if hit is not None and hit.t < best_t:
+            best_t, best_id = hit.t, tri.prim_id
+    return best_t, best_id
+
+
+class TestBVHBuild:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BVH([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BVH(random_triangles(4), method="bogus")
+
+    @pytest.mark.parametrize("method", ["median", "sah"])
+    def test_all_prims_reachable(self, method):
+        tris = random_triangles(64)
+        bvh = BVH(tris, method=method)
+        found = set()
+
+        def collect(node):
+            if node.is_leaf:
+                found.update(p.prim_id for p in bvh.leaf_prims(node))
+            else:
+                collect(node.left)
+                collect(node.right)
+
+        collect(bvh.root)
+        assert found == set(range(64))
+
+    @pytest.mark.parametrize("method", ["median", "sah"])
+    def test_child_bounds_contained_in_parent(self, method):
+        bvh = BVH(random_triangles(100, seed=3), method=method)
+
+        def check(node):
+            if not node.is_leaf:
+                assert node.bounds.contains_box(node.left.bounds)
+                assert node.bounds.contains_box(node.right.bounds)
+                check(node.left)
+                check(node.right)
+            else:
+                for prim in bvh.leaf_prims(node):
+                    assert node.bounds.contains_box(prim.bounds())
+
+        check(bvh.root)
+
+    def test_leaf_size_respected(self):
+        bvh = BVH(random_triangles(200, seed=4), max_leaf_size=4)
+        for node in bvh.nodes():
+            if node.is_leaf:
+                assert node.prim_count <= 4
+
+    def test_node_count_matches_nodes_list(self):
+        bvh = BVH(random_triangles(77, seed=5))
+        assert bvh.node_count == len(bvh.nodes())
+
+    def test_single_primitive(self):
+        bvh = BVH(random_triangles(1))
+        assert bvh.root.is_leaf
+        assert bvh.node_count == 1
+
+    def test_sah_no_worse_node_count_blowup(self):
+        tris = random_triangles(256, seed=6)
+        sah = BVH(tris, method="sah")
+        med = BVH(tris, method="median")
+        assert sah.node_count <= med.node_count * 2
+
+
+class TestBVHTraversal:
+    def test_closest_matches_brute_force(self):
+        tris = random_triangles(128, seed=7)
+        bvh = BVH(tris)
+        for ray in random_rays(60, seed=8):
+            result = bvh.traverse(ray, ray_triangle_intersect)
+            bf_t, bf_id = brute_force_closest(ray, tris)
+            assert result.closest_prim == bf_id
+            if bf_id is not None:
+                assert result.closest_t == pytest.approx(bf_t)
+
+    def test_any_mode_stops_after_first_hit_leaf(self):
+        tris = random_triangles(128, seed=9)
+        bvh = BVH(tris)
+        for ray in random_rays(40, seed=10):
+            result = bvh.traverse(ray, ray_triangle_intersect, mode="any")
+            bf_t, bf_id = brute_force_closest(ray, tris)
+            assert (len(result.all_hits) > 0) == (bf_id is not None)
+
+    def test_all_mode_superset_of_closest(self):
+        tris = random_triangles(64, seed=11)
+        bvh = BVH(tris)
+        for ray in random_rays(30, seed=12):
+            every = bvh.traverse(ray, ray_triangle_intersect, mode="all")
+            bf_t, bf_id = brute_force_closest(ray, tris)
+            if bf_id is not None:
+                assert bf_id in every.all_hits
+
+    def test_visit_trace_contains_root(self):
+        bvh = BVH(random_triangles(32, seed=13))
+        ray = random_rays(1, seed=14)[0]
+        result = bvh.traverse(ray, ray_triangle_intersect)
+        assert result.visits[0].node is bvh.root
+
+    def test_bad_mode_rejected(self):
+        bvh = BVH(random_triangles(4))
+        with pytest.raises(ConfigurationError):
+            bvh.traverse(random_rays(1)[0], ray_triangle_intersect, mode="x")
+
+    def test_miss_everything(self):
+        tris = random_triangles(16, seed=15, span=1.0)
+        bvh = BVH(tris)
+        ray = Ray(Vec3(100, 100, 100), Vec3(1, 0, 0))
+        result = bvh.traverse(ray, ray_triangle_intersect)
+        assert result.closest_prim is None
+        assert math.isinf(result.closest_t)
+        # Root test fails, traversal does no more work.
+        assert len(result.visits) == 1
+
+
+class TestTwoLevel:
+    def build(self):
+        spheres = [Sphere(Vec3(x, 0, 0), 0.4, prim_id=x) for x in range(4)]
+        blas = BVH(spheres, max_leaf_size=1)
+        instances = [
+            Instance(blas, translation=Vec3(0, 0, 0), instance_id=0),
+            Instance(blas, translation=Vec3(0, 10, 0), instance_id=1),
+            Instance(blas, translation=Vec3(0, 0, 10), scale=2.0, instance_id=2),
+        ]
+        return TwoLevelBVH(instances)
+
+    def test_hits_correct_instance(self):
+        tl = self.build()
+        ray = Ray(Vec3(2, 10, -5), Vec3(0, 0, 1))
+        result = tl.trace(ray, ray_sphere_intersect)
+        assert result.hit is not None
+        assert result.hit.instance_id == 1
+        assert result.hit.prim_id == 2
+
+    def test_scaled_instance_hit_distance_in_world_units(self):
+        tl = self.build()
+        # Instance 2 is scaled 2x: sphere prim 0 has world radius 0.8 at z=10.
+        ray = Ray(Vec3(0, 0, 5), Vec3(0, 0, 1))
+        result = tl.trace(ray, ray_sphere_intersect)
+        assert result.hit is not None
+        assert result.hit.instance_id == 2
+        assert result.hit.t == pytest.approx(5 - 0.8)
+
+    def test_xform_count_positive_on_hit(self):
+        tl = self.build()
+        ray = Ray(Vec3(2, 10, -5), Vec3(0, 0, 1))
+        result = tl.trace(ray, ray_sphere_intersect)
+        assert result.xforms >= 1
+
+    def test_miss_returns_none(self):
+        tl = self.build()
+        ray = Ray(Vec3(100, 100, 100), Vec3(0, 1, 0))
+        assert tl.trace(ray, ray_sphere_intersect).hit is None
+
+    def test_empty_instances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelBVH([])
+
+    def test_instance_bad_scale_rejected(self):
+        blas = BVH(random_triangles(2))
+        with pytest.raises(ConfigurationError):
+            Instance(blas, scale=0.0)
+
+
+@given(st.integers(min_value=1, max_value=100),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_property_bvh_closest_equals_brute_force(n, seed):
+    tris = random_triangles(n, seed=seed)
+    bvh = BVH(tris)
+    for ray in random_rays(5, seed=seed + 1):
+        result = bvh.traverse(ray, ray_triangle_intersect)
+        bf_t, bf_id = brute_force_closest(ray, tris)
+        assert result.closest_prim == bf_id

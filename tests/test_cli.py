@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, cmd_list, cmd_run, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_with_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "fig13", "fig12", "--scale", "smoke",
+             "--csv-dir", str(tmp_path)])
+        assert args.experiments == ["fig13", "fig12"]
+        assert args.scale == "smoke"
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig13", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list_prints_everything(self, capsys):
+        assert cmd_list() == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert cmd_run(["fig99"], "smoke", None) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        from repro.harness import experiments
+        experiments.clear_cache()
+        code = main(["run", "fig13", "--scale", "smoke",
+                     "--csv-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out
+        csv = (tmp_path / "fig13.csv").read_text()
+        assert csv.startswith("workload,")
+        experiments.clear_cache()
+
+    def test_all_expands(self):
+        # 'all' must expand to exactly the registered experiments.
+        names = sorted(EXPERIMENTS)
+        assert "fig12" in names and len(names) == 12

@@ -1,0 +1,254 @@
+"""Tests for data layouts, the Point-to-Point unit, and the TTA API."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataLayout, PointDistanceUnit, TTAPipeline
+from repro.core.api import traverse_tree_tta, vk_create_tta_pipeline
+from repro.core.layouts import (
+    btree_node_layout,
+    btree_query_layout,
+    nbody_node_layout,
+    ray_tracing_ray_layout,
+)
+from repro.core.ttaplus import UopProgram
+from repro.core.ttaplus.uop import Uop
+from repro.errors import ConfigurationError, LayoutError
+from repro.geometry import Vec3
+
+
+class TestDataLayout:
+    def test_from_sizes_listing1(self):
+        layout = DataLayout.from_sizes([12, 12, 4, 4], name="inner")
+        assert layout.size == 32
+        assert [f.type for f in layout.fields] == ["vec3", "vec3", "float",
+                                                   "float"]
+
+    def test_offsets_accumulate(self):
+        layout = DataLayout([("a", "vec3"), ("b", "float"), ("c", "u32")])
+        assert [f.offset for f in layout.fields] == [0, 12, 16]
+        assert layout.size == 20
+
+    def test_pack_unpack_round_trip(self):
+        layout = DataLayout([("origin", "vec3"), ("tmin", "float"),
+                             ("flags", "u32")])
+        values = {"origin": (1.0, 2.0, 3.0), "tmin": 0.5, "flags": 7}
+        assert layout.unpack(layout.pack(values)) == values
+
+    def test_field_lookup(self):
+        layout = btree_query_layout()
+        assert layout.field("query").offset == 0
+        assert layout.field_at(4).name == "next_child"
+        with pytest.raises(LayoutError):
+            layout.field("nope")
+        with pytest.raises(LayoutError):
+            layout.field_at(3)
+
+    def test_exceeds_warp_buffer_entry(self):
+        with pytest.raises(LayoutError):
+            DataLayout([(f"v{i}", "vec3") for i in range(6)])
+
+    def test_bad_inputs(self):
+        with pytest.raises(LayoutError):
+            DataLayout.from_sizes([8])
+        with pytest.raises(LayoutError):
+            DataLayout([("a", "quat")])
+        with pytest.raises(LayoutError):
+            DataLayout([("a", "float"), ("a", "float")])
+        with pytest.raises(LayoutError):
+            DataLayout([])
+
+    def test_stock_layouts_fit(self):
+        for layout in (ray_tracing_ray_layout(), btree_query_layout(),
+                       btree_node_layout(), nbody_node_layout()):
+            assert layout.size <= 64
+
+    @given(st.lists(st.sampled_from([4, 12]), min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_size_is_sum(self, sizes):
+        layout = DataLayout.from_sizes(sizes)
+        assert layout.size == sum(sizes)
+
+    @given(st.tuples(st.floats(-1e3, 1e3, width=32),
+                     st.floats(-1e3, 1e3, width=32),
+                     st.floats(-1e3, 1e3, width=32)),
+           st.floats(0, 1e3, width=32), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_codec_round_trip(self, vec, f, u):
+        layout = DataLayout([("v", "vec3"), ("f", "float"), ("u", "u32")])
+        out = layout.unpack(layout.pack({"v": vec, "f": f, "u": u}))
+        assert out["u"] == u
+        assert out["f"] == pytest.approx(f, rel=1e-6)
+
+
+class TestPointDistanceUnit:
+    UNIT = PointDistanceUnit()
+
+    def test_matches_algorithm2(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            a = Vec3(rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5))
+            b = Vec3(rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5))
+            threshold = rng.uniform(0, 10)
+            result = self.UNIT.test(a, b, threshold)
+            expected = (b - a).length() < threshold or \
+                math.isclose((b - a).length(), threshold) and False
+            assert result.below == ((b - a).length_squared()
+                                    < threshold * threshold)
+
+    def test_distance_squared_exact(self):
+        r = self.UNIT.test(Vec3(0, 0, 0), Vec3(3, 4, 0), 10.0)
+        assert r.distance_squared == 25.0
+        assert r.below
+
+
+class TestTTAPipeline:
+    def complete_tta(self):
+        p = TTAPipeline(flavor="tta")
+        p.decode_r(btree_query_layout())
+        p.decode_i(btree_node_layout())
+        p.decode_l(btree_node_layout())
+        p.config_i("query_key")
+        p.config_l("query_key")
+        return p
+
+    def test_valid_pipeline_passes(self):
+        p = vk_create_tta_pipeline(self.complete_tta())
+        assert p.inner_op == "query_key"
+        assert p.leaf_op == "query_key"
+
+    def test_missing_config_rejected(self):
+        p = TTAPipeline(flavor="tta")
+        p.decode_r(btree_query_layout())
+        with pytest.raises(ConfigurationError, match="DecodeI"):
+            p.validate()
+
+    def test_bad_flavor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TTAPipeline(flavor="gpu")
+
+    def test_tta_rejects_custom_programs(self):
+        p = TTAPipeline(flavor="tta")
+        with pytest.raises(ConfigurationError):
+            p.config_i(UopProgram("custom", [Uop("mul")]))
+
+    def test_ttaplus_accepts_named_programs(self):
+        p = TTAPipeline(flavor="ttaplus")
+        p.config_i("raybox")
+        p.config_l("uop:raytri")
+        assert p._inner_op == "uop:raybox"
+        assert p._leaf_op == "uop:raytri"
+
+    def test_ttaplus_registers_custom_program(self):
+        p = TTAPipeline(flavor="ttaplus")
+        prog = UopProgram("my_test_prog", [Uop("mul"), Uop("sqrt")])
+        p.config_l(prog)
+        assert p._leaf_op == "uop:my_test_prog"
+
+    def test_ttaplus_unknown_program_rejected(self):
+        p = TTAPipeline(flavor="ttaplus")
+        with pytest.raises(ConfigurationError):
+            p.config_i("no_such_program")
+
+    def test_config_terminate_requires_layout(self):
+        p = TTAPipeline(flavor="tta")
+        with pytest.raises(ConfigurationError):
+            p.config_terminate("ray", 0, "float", "leaf", 2)
+        p.decode_r(btree_query_layout())
+        p.config_terminate("ray", 4, "u32", "leaf", 2)
+        assert p.terminate.offset == 4
+
+    def test_config_terminate_bad_offset(self):
+        p = TTAPipeline(flavor="tta")
+        p.decode_r(btree_query_layout())
+        with pytest.raises(LayoutError):
+            p.config_terminate("ray", 3, "u32", "leaf", 2)
+
+    def test_launch_via_api(self):
+        from repro.gpu import GPUConfig
+        from repro.gpu.isa import AccelCall
+        from repro.rta import Step, TraversalJob
+
+        jobs = [TraversalJob(i, [Step(0x1000 + 64 * i, 64, "query_key")], i)
+                for i in range(32)]
+        out = {}
+
+        def kernel(tid, args):
+            result = yield AccelCall(jobs[tid], tag=1)
+            args[tid] = result
+
+        stats = traverse_tree_tta(self.complete_tta(), kernel, 32, args=out,
+                                  config=GPUConfig(n_sms=1))
+        assert out == {i: i for i in range(32)}
+        assert stats.accel_stats["query_key_ops"] == 32
+
+
+class TestCommandBuffer:
+    def _pipeline(self):
+        p = TTAPipeline(flavor="tta")
+        p.decode_r(btree_query_layout())
+        p.decode_i(btree_node_layout())
+        p.decode_l(btree_node_layout())
+        p.config_i("query_key")
+        p.config_l("query_key")
+        return p
+
+    def _kernel_and_jobs(self, n):
+        from repro.gpu.isa import AccelCall
+        from repro.rta import Step, TraversalJob
+
+        jobs = [TraversalJob(i, [Step(0x1000 + 64 * i, 64, "query_key")], i)
+                for i in range(n)]
+
+        def kernel(tid, args):
+            result = yield AccelCall(jobs[tid], tag=1)
+            args[tid] = result
+
+        return kernel
+
+    def test_record_and_submit(self):
+        from repro.core.api import CommandBuffer, TTADevice
+        from repro.gpu import GPUConfig
+
+        device = TTADevice(GPUConfig(n_sms=1))
+        buffer = CommandBuffer()
+        out1, out2 = {}, {}
+        buffer.cmd_traverse_tree(self._pipeline(), self._kernel_and_jobs(32),
+                                 32, args=out1)
+        buffer.cmd_traverse_tree(self._pipeline(), self._kernel_and_jobs(16),
+                                 16, args=out2)
+        results = device.submit(buffer)
+        assert len(results) == 2
+        assert device.launches == 2
+        assert out1 == {i: i for i in range(32)}
+        assert out2 == {i: i for i in range(16)}
+
+    def test_empty_submit_rejected(self):
+        from repro.core.api import CommandBuffer, TTADevice
+
+        with pytest.raises(ConfigurationError):
+            TTADevice().submit(CommandBuffer())
+
+    def test_resubmission_rejected(self):
+        from repro.core.api import CommandBuffer, TTADevice
+        from repro.gpu import GPUConfig
+
+        device = TTADevice(GPUConfig(n_sms=1))
+        buffer = CommandBuffer()
+        buffer.cmd_traverse_tree(self._pipeline(), self._kernel_and_jobs(4),
+                                 4, args={})
+        device.submit(buffer)
+        with pytest.raises(ConfigurationError):
+            buffer.cmd_traverse_tree(self._pipeline(),
+                                     self._kernel_and_jobs(4), 4, args={})
+
+    def test_invalid_pipeline_rejected_at_record(self):
+        from repro.core.api import CommandBuffer
+
+        buffer = CommandBuffer()
+        with pytest.raises(ConfigurationError):
+            buffer.cmd_traverse_tree(TTAPipeline(), lambda t, a: iter(()), 4)

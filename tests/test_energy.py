@@ -1,0 +1,101 @@
+"""Tests for the area and energy models (Table IV, §V-C, Fig. 19)."""
+
+import pytest
+
+from repro.energy import (
+    baseline_rta_area_um2,
+    tta_area_report,
+    ttaplus_area_report,
+)
+from repro.energy.area import tta_ray_box_overhead_pct
+from repro.energy.model import EnergyBreakdown, energy_report
+from repro.energy.power import (
+    UNIT_POWER_MW,
+    unit_energy_per_busy_cycle_nj,
+)
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import run_btree, scaled_config_for
+from repro.workloads import make_btree_workload
+
+
+class TestArea:
+    def test_baseline_total_matches_table4(self):
+        assert baseline_rta_area_um2() == pytest.approx(602078.1)
+
+    def test_ttaplus_without_sqrt_is_smaller(self):
+        report = ttaplus_area_report(with_sqrt=False)
+        assert report.total_um2 == pytest.approx(536949.1, rel=1e-4)
+        assert report.vs_baseline_pct == pytest.approx(-10.8, abs=0.1)
+
+    def test_ttaplus_with_sqrt_matches_table4(self):
+        report = ttaplus_area_report(with_sqrt=True)
+        assert report.total_um2 == pytest.approx(821316.3, rel=1e-4)
+        assert report.vs_baseline_pct == pytest.approx(36.4, abs=0.1)
+
+    def test_tta_ray_box_delta(self):
+        # §V-C1: 0.2708 -> 0.2756 mm^2, a 1.8% increase of that unit.
+        assert tta_ray_box_overhead_pct() == pytest.approx(1.8, abs=0.05)
+
+    def test_tta_total_overhead_below_one_percent(self):
+        report = tta_area_report()
+        assert 0 < report.vs_baseline_pct < 1.0
+
+    def test_report_row_lookup(self):
+        report = ttaplus_area_report()
+        assert report.row("sqrt") == pytest.approx(284367.2)
+        with pytest.raises(KeyError):
+            report.row("flux_capacitor")
+
+
+class TestPower:
+    def test_query_key_power_matches_paper(self):
+        # §V-C1: 259.4 mW -> 261.1 mW (+0.7%).
+        assert UNIT_POWER_MW["box"] == pytest.approx(259.4)
+        increase = (UNIT_POWER_MW["query_key"] - UNIT_POWER_MW["box"]) \
+            / UNIT_POWER_MW["box"]
+        assert increase == pytest.approx(0.007, abs=0.002)
+
+    def test_energy_per_cycle_positive_for_all_units(self):
+        for unit in UNIT_POWER_MW:
+            assert unit_energy_per_busy_cycle_nj(unit) > 0
+
+    def test_sqrt_is_the_most_power_hungry_op_unit(self):
+        op_units = ("vec3_addsub", "mul", "rcp", "cross", "dot", "vec3_cmp",
+                    "minmax", "maxmin", "logical", "sqrt", "rxform")
+        assert max(op_units, key=UNIT_POWER_MW.get) == "sqrt"
+
+
+class TestEnergyModel:
+    def _runs(self):
+        wl = make_btree_workload("btree", n_keys=2048, n_queries=2048,
+                                 seed=1)
+        cfg = scaled_config_for(wl.image.size_bytes)
+        return (run_btree(wl, "gpu", config=cfg),
+                run_btree(wl, "tta", config=cfg), cfg)
+
+    def test_breakdown_components_positive(self):
+        base, tta, cfg = self._runs()
+        assert base.energy.compute_core_mj > 0
+        assert base.energy.warp_buffer_mj == 0  # no accelerator used
+        assert tta.energy.warp_buffer_mj > 0
+        assert tta.energy.intersection_mj > 0
+
+    def test_tta_saves_energy_like_fig19(self):
+        base, tta, cfg = self._runs()
+        saving = 1.0 - tta.energy.total_mj / base.energy.total_mj
+        # Paper: 15-62% less energy for B-Tree queries.
+        assert 0.10 < saving < 0.80
+
+    def test_normalization_sums(self):
+        base, tta, cfg = self._runs()
+        norm = tta.energy.normalized_to(base.energy)
+        assert norm["total"] == pytest.approx(
+            norm["compute_core"] + norm["warp_buffer"]
+            + norm["intersection"])
+        base_norm = base.energy.normalized_to(base.energy)
+        assert base_norm["total"] == pytest.approx(1.0)
+
+    def test_zero_stats_zero_energy(self):
+        from repro.gpu.device import KernelStats
+        report = energy_report(KernelStats(), GPUConfig())
+        assert report.total_mj == 0

@@ -1,0 +1,200 @@
+"""Unit tests for the SIMT GPU model: divergence, timing, statistics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GPU, AccelCall, Compute, GPUConfig, Load
+from repro.gpu.isa import Store
+
+CFG = GPUConfig(n_sms=1, max_warps_per_sm=4)
+
+
+def test_empty_launch_rejected():
+    with pytest.raises(ConfigurationError):
+        GPU(CFG).launch(lambda tid, args: iter(()), 0)
+
+
+class TestComputeTiming:
+    def test_single_warp_compute_cycles(self):
+        def kernel(tid, args):
+            yield Compute(10, tag=0)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        assert stats.cycles == pytest.approx(10)
+        assert stats.warp_instructions.get("alu") == 10
+        assert stats.simt_efficiency == pytest.approx(1.0)
+
+    def test_two_warps_share_issue_port(self):
+        def kernel(tid, args):
+            yield Compute(10, tag=0)
+
+        stats = GPU(CFG).launch(kernel, 64)
+        assert stats.cycles == pytest.approx(20)
+
+    def test_warps_beyond_residency_run_in_waves(self):
+        cfg = CFG.with_overrides(max_warps_per_sm=1)
+
+        def kernel(tid, args):
+            yield Compute(10, tag=0)
+
+        stats = GPU(cfg).launch(kernel, 64)
+        assert stats.cycles == pytest.approx(20)
+        assert stats.notes["n_warps"] == 2
+
+    def test_instruction_kinds_tracked(self):
+        def kernel(tid, args):
+            yield Compute(4, tag=0, kind="alu")
+            yield Compute(2, tag=1, kind="control")
+            yield Compute(1, tag=2, kind="sfu")
+
+        stats = GPU(CFG).launch(kernel, 32)
+        br = stats.instruction_breakdown()
+        assert br == {"alu": 4, "control": 2, "sfu": 1}
+
+
+class TestDivergence:
+    def test_branch_divergence_halves_efficiency(self):
+        def kernel(tid, args):
+            # Half the warp takes tag 1, half takes tag 2: serialized.
+            if tid % 2 == 0:
+                yield Compute(10, tag=1)
+            else:
+                yield Compute(10, tag=2)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        assert stats.cycles == pytest.approx(20)
+        assert stats.simt_efficiency == pytest.approx(0.5)
+
+    def test_reconvergence_after_branch(self):
+        def kernel(tid, args):
+            if tid % 2 == 0:
+                yield Compute(5, tag=1)
+            else:
+                yield Compute(5, tag=2)
+            yield Compute(10, tag=3)  # all threads reconverge here
+
+        stats = GPU(CFG).launch(kernel, 32)
+        # 5 + 5 serialized, then 10 converged.
+        assert stats.cycles == pytest.approx(20)
+        eff = stats.simt_efficiency
+        assert 0.7 < eff < 0.8  # (0.5*10 + 1.0*10)/20 = 0.75
+
+    def test_early_exit_reduces_efficiency(self):
+        def kernel(tid, args):
+            iters = 1 if tid < 16 else 4
+            for _ in range(iters):
+                yield Compute(10, tag=5)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        # Iterations 2-4 run with half the lanes.
+        assert stats.simt_efficiency == pytest.approx((1 + 0.5 * 3) / 4)
+
+    def test_lowest_tag_first_matches_structured_control_flow(self):
+        order = []
+
+        def kernel(tid, args):
+            if tid == 0:
+                yield Compute(1, tag=2)
+                order.append("late")
+            else:
+                yield Compute(1, tag=1)
+                order.append("early")
+
+        GPU(CFG).launch(kernel, 2)
+        assert order[0] == "early"
+
+
+class TestMemory:
+    def test_coalesced_load_one_sector(self):
+        def kernel(tid, args):
+            yield Load(addr=0, size=4, tag=0)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        # All lanes in the same 32B sector? addr identical -> 1 sector.
+        assert stats.mem_sectors == 1
+        assert stats.warp_instructions.get("mem") == 1
+
+    def test_divergent_load_many_sectors(self):
+        def kernel(tid, args):
+            yield Load(addr=tid * 128, size=4, tag=0)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        assert stats.mem_sectors == 32
+
+    def test_load_blocks_warp(self):
+        def kernel(tid, args):
+            yield Load(addr=0, size=4, tag=0)
+            yield Compute(1, tag=1)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        cfg = CFG
+        assert stats.cycles > cfg.l2_latency  # cold miss went past L2
+
+    def test_second_access_hits_l1(self):
+        def kernel(tid, args):
+            yield Load(addr=0, size=4, tag=0)
+            yield Load(addr=0, size=4, tag=1)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        assert stats.l1_hit_rate > 0
+
+    def test_store_does_not_block(self):
+        def kernel(tid, args):
+            yield Store(addr=tid * 4, size=4, tag=0)
+            yield Compute(1, tag=1)
+
+        stats = GPU(CFG).launch(kernel, 32)
+        assert stats.cycles < 50
+
+    def test_dram_utilization_positive_for_streaming(self):
+        def kernel(tid, args):
+            for i in range(8):
+                yield Load(addr=(tid * 8 + i) * 128 + (args or 0), size=32,
+                           tag=i)
+
+        stats = GPU(CFG).launch(kernel, 64)
+        assert stats.memory["dram_utilization"] > 0.05
+
+
+class FakeAccel:
+    """Counts submissions and answers after a fixed delay."""
+
+    def __init__(self, sm, delay=50):
+        self.sm = sm
+        self.delay = delay
+        self.submitted = []
+
+    def submit(self, now, payloads):
+        self.submitted.append(list(payloads))
+        signal = self.sm.sim.signal()
+        signal.fire_at(now + self.delay, [p * 2 for p in payloads])
+        return signal
+
+    def snapshot(self, end):
+        return {"queries": sum(len(p) for p in self.submitted)}
+
+
+class TestAccelCall:
+    def test_results_routed_back_per_thread(self):
+        echoed = {}
+
+        def kernel(tid, args):
+            result = yield AccelCall(payload=tid, tag=0)
+            echoed[tid] = result
+
+        stats = GPU(CFG, accelerator_factory=FakeAccel).launch(kernel, 32)
+        assert echoed == {tid: tid * 2 for tid in range(32)}
+        assert stats.cycles >= 50
+        assert stats.warp_instructions.get("tta") == 1
+        assert stats.accel_stats["queries"] == 32
+
+    def test_accel_overlaps_with_compute(self):
+        def kernel(tid, args):
+            if tid < 32:
+                yield AccelCall(payload=tid, tag=0)
+            else:
+                yield Compute(40, tag=1)
+
+        stats = GPU(CFG, accelerator_factory=FakeAccel).launch(kernel, 64)
+        # Accel (50 cycles) and the other warp's compute overlap.
+        assert stats.cycles < 50 + 40

@@ -1,0 +1,74 @@
+"""Tests for the workload inspection helpers."""
+
+import pytest
+
+from repro.harness.inspectors import (
+    job_visit_counts,
+    traversal_profile,
+    tree_shape,
+)
+from repro.trees import BTree, BVH, RTree
+from repro.trees.rtree import RectEntry, make_rect
+
+
+class TestTreeShape:
+    def test_btree_shape(self):
+        tree = BTree.bulk_load(list(range(2000)))
+        shape = tree_shape(tree)
+        assert shape.n_nodes == len(tree.nodes())
+        assert shape.height == tree.height()
+        assert 2 <= shape.mean_fanout <= 9
+        assert sum(shape.fill_histogram.values()) == \
+            shape.n_nodes - shape.n_leaves
+        assert "height" in shape.format()
+
+    def test_bvh_shape_binary(self):
+        from tests.test_bvh import random_triangles
+        bvh = BVH(random_triangles(100, seed=1))
+        shape = tree_shape(bvh)
+        assert shape.mean_fanout == pytest.approx(2.0)
+        assert shape.n_leaves + sum(shape.fill_histogram.values()) == \
+            shape.n_nodes
+
+    def test_rtree_shape(self):
+        entries = [RectEntry(make_rect(i, i, i + 1, i + 1), i)
+                   for i in range(300)]
+        shape = tree_shape(RTree.bulk_load(entries))
+        assert shape.n_leaves >= 300 / 9
+
+
+class TestTraversalProfile:
+    def test_statistics(self):
+        profile = traversal_profile([4, 4, 4, 8], warp_size=2)
+        assert profile.mean_visits == 5.0
+        assert (profile.min_visits, profile.max_visits) == (4, 8)
+        # Warps (4,4) and (4,8): padded = 8 + 16 = 24; total = 20.
+        assert profile.warp_tail_efficiency == pytest.approx(20 / 24)
+
+    def test_uniform_counts_are_fully_efficient(self):
+        profile = traversal_profile([5] * 64)
+        assert profile.warp_tail_efficiency == 1.0
+        assert profile.p95_visits == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            traversal_profile([])
+
+    def test_from_jobs(self):
+        from repro.workloads import make_btree_workload
+        wl = make_btree_workload("btree", n_keys=512, n_queries=256, seed=2)
+        counts = job_visit_counts(wl.jobs("tta"))
+        assert len(counts) == 256
+        profile = traversal_profile(counts)
+        assert profile.max_visits <= wl.tree.height()
+        assert "warp_tail_eff" in profile.format()
+
+    def test_btree_less_uniform_than_bplus(self):
+        from repro.workloads import make_btree_workload
+        b = make_btree_workload("btree", n_keys=4096, n_queries=512, seed=3)
+        bp = make_btree_workload("bplus", n_keys=4096, n_queries=512, seed=3)
+        eff_b = traversal_profile(job_visit_counts(b.jobs("tta")))
+        eff_bp = traversal_profile(job_visit_counts(bp.jobs("tta")))
+        # B+Tree searches always reach leaf depth: perfectly uniform.
+        assert eff_bp.warp_tail_efficiency == 1.0
+        assert eff_b.warp_tail_efficiency <= eff_bp.warp_tail_efficiency

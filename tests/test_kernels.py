@@ -1,0 +1,145 @@
+"""Tests for the software kernels and job builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GPU, GPUConfig
+from repro.kernels.btree_search import build_btree_jobs, btree_baseline_kernel
+from repro.kernels.nbody_walk import build_nbody_jobs, build_warp_traces
+from repro.kernels.radius_search import build_radius_jobs, radius_query
+from repro.kernels.ray_trace import build_rt_jobs
+from repro.workloads import (
+    make_btree_workload,
+    make_nbody_workload,
+    make_rtnn_workload,
+)
+
+CFG = GPUConfig(n_sms=2)
+
+
+class TestBTreeKernel:
+    def test_baseline_kernel_produces_correct_results(self):
+        wl = make_btree_workload("btree", n_keys=512, n_queries=128, seed=5)
+        args = wl.kernel_args()
+        GPU(CFG).launch(btree_baseline_kernel, wl.n_queries, args=args)
+        assert [args.results[i] for i in range(128)] == wl.golden
+
+    def test_jobs_follow_search_paths(self):
+        wl = make_btree_workload("btree", n_keys=512, n_queries=32, seed=6)
+        jobs = build_btree_jobs(wl.tree, wl.queries, flavor="tta")
+        for qid, job in enumerate(jobs):
+            trace = wl.tree.search(wl.queries[qid])
+            assert len(job.steps) == len(trace.path)
+            assert job.result == trace.found
+            for step, node in zip(job.steps, trace.path):
+                assert step.address == node.address
+                assert step.op == "query_key"
+
+    def test_ttaplus_jobs_distinguish_leaf(self):
+        wl = make_btree_workload("bplus", n_keys=512, n_queries=16, seed=7)
+        jobs = build_btree_jobs(wl.tree, wl.queries, flavor="ttaplus")
+        for job in jobs:
+            assert job.steps[-1].op == "uop:btree_leaf"
+            for step in job.steps[:-1]:
+                assert step.op == "uop:btree_inner"
+
+    def test_rta_flavor_rejected(self):
+        wl = make_btree_workload("btree", n_keys=64, n_queries=4)
+        with pytest.raises(ConfigurationError):
+            build_btree_jobs(wl.tree, wl.queries, flavor="rta")
+
+
+class TestNBodyKernel:
+    def test_warp_traces_are_union_walks(self):
+        wl = make_nbody_workload(n_bodies=128, dims=2, seed=8)
+        traces = build_warp_traces(wl.tree, warp_size=32)
+        assert len(traces) == 4
+        # The union walk must visit at least as many nodes as any lane.
+        for w, trace in enumerate(traces):
+            union_nodes = {id(e.node) for e in trace}
+            for body in wl.tree.bodies[w * 32:(w + 1) * 32]:
+                lane_nodes = {id(e.node)
+                              for e in wl.tree.force_on(body).visits}
+                assert lane_nodes <= union_nodes
+
+    def test_tta_jobs_report_interactions(self):
+        wl = make_nbody_workload(n_bodies=64, dims=3, seed=9)
+        jobs, interactions = build_nbody_jobs(wl.tree, flavor="tta")
+        assert len(jobs) == len(interactions) == 64
+        for job, n in zip(jobs, interactions):
+            assert n > 0
+            assert all(s.op in ("point_dist",) for s in job.steps)
+
+    def test_ttaplus_jobs_use_uops(self):
+        wl = make_nbody_workload(n_bodies=64, dims=3, seed=9)
+        jobs, interactions = build_nbody_jobs(wl.tree, flavor="ttaplus")
+        assert interactions == []
+        ops = {s.op for job in jobs for s in job.steps}
+        assert ops == {"uop:nbody_inner", "uop:nbody_leaf"}
+
+    def test_bad_flavor_rejected(self):
+        wl = make_nbody_workload(n_bodies=16, dims=2)
+        with pytest.raises(ConfigurationError):
+            build_nbody_jobs(wl.tree, flavor="rta")
+
+
+class TestRadiusKernel:
+    def test_radius_query_matches_brute_force(self):
+        wl = make_rtnn_workload(n_points=512, n_queries=32, radius=1.5,
+                                seed=10)
+        for q in wl.queries[:16]:
+            trace = radius_query(wl.bvh, q, wl.radius)
+            assert trace.hits == wl.golden(q)
+
+    def test_flavors_differ_only_in_ops(self):
+        wl = make_rtnn_workload(n_points=256, n_queries=8, seed=11)
+        by_flavor = {f: build_radius_jobs(wl.bvh, wl.queries, wl.radius,
+                                          flavor=f)
+                     for f in ("rta", "tta", "ttaplus", "ttaplus_opt")}
+        for qid in range(8):
+            lengths = {len(by_flavor[f][qid].steps) for f in by_flavor}
+            assert len(lengths) == 1, "same traversal, same step count"
+            assert by_flavor["rta"][qid].result == \
+                by_flavor["ttaplus_opt"][qid].result
+        assert any(s.op == "shader" for s in by_flavor["rta"][0].steps)
+        assert any(s.op == "point_dist" for s in by_flavor["tta"][0].steps)
+        assert any(s.op == "uop:rtnn_leaf"
+                   for s in by_flavor["ttaplus_opt"][0].steps)
+
+    def test_unknown_flavor(self):
+        wl = make_rtnn_workload(n_points=64, n_queries=2)
+        with pytest.raises(ConfigurationError):
+            build_radius_jobs(wl.bvh, wl.queries, wl.radius, flavor="x")
+
+
+class TestRayTraceJobs:
+    def visits(self):
+        from repro.workloads import make_wknd_workload
+        wl = make_wknd_workload(width=4, height=4, n_spheres=40, bounces=1)
+        for traces in wl.visits_per_thread:
+            if any(v.kind == "leaf" for v in traces[0]):
+                return traces[0]
+        raise AssertionError("no ray reached a leaf")
+
+    def test_sphere_geometry_shader_on_rta(self):
+        job = build_rt_jobs(self.visits(), True, 0, flavor="rta",
+                            leaf_geometry="sphere")
+        leaf_ops = {s.op for s in job.steps if s.op != "box"}
+        assert leaf_ops <= {"shader"}
+
+    def test_sphere_geometry_uop_on_opt(self):
+        job = build_rt_jobs(self.visits(), True, 0, flavor="ttaplus_opt",
+                            leaf_geometry="sphere")
+        assert any(s.op == "uop:raysphere" for s in job.steps)
+        assert not any(s.op == "shader" for s in job.steps)
+
+    def test_xforms_prepended(self):
+        job = build_rt_jobs(self.visits(), True, 0, flavor="ttaplus",
+                            leaf_geometry="sphere", xforms=2)
+        assert [s.op for s in job.steps[:2]] == ["uop:xform", "uop:xform"]
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            build_rt_jobs([], True, 0, flavor="warp9")
+        with pytest.raises(ConfigurationError):
+            build_rt_jobs([], True, 0, leaf_geometry="torus")

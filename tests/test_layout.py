@@ -1,0 +1,67 @@
+"""Tests for tree serialization into flat memory images."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.trees import BTree, TreeImage
+
+
+def build_tree(n=500):
+    return BTree.bulk_load(list(range(n)))
+
+
+class TestTreeImage:
+    def test_addresses_are_stride_aligned_and_unique(self):
+        tree = build_tree()
+        image = TreeImage(tree.nodes())
+        addrs = [image.address_of(n) for n in tree.nodes()]
+        assert len(set(addrs)) == len(addrs)
+        for a in addrs:
+            assert a % image.node_stride == 0
+
+    def test_round_trip_node_lookup(self):
+        tree = build_tree()
+        image = TreeImage(tree.nodes())
+        for node in tree.nodes():
+            assert image.node_at(image.address_of(node)) is node
+
+    def test_base_offset_applied(self):
+        tree = build_tree(100)
+        image = TreeImage(tree.nodes(), base=4096)
+        assert image.address_of(tree.root) == 4096
+        assert image.end == 4096 + len(tree.nodes()) * 64
+
+    def test_unaligned_base_rejected(self):
+        tree = build_tree(10)
+        with pytest.raises(LayoutError):
+            TreeImage(tree.nodes(), base=100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            TreeImage([])
+
+    def test_unknown_node_rejected(self):
+        tree = build_tree(10)
+        image = TreeImage(tree.nodes())
+        other = build_tree(10)
+        with pytest.raises(LayoutError):
+            image.address_of(other.root)
+        with pytest.raises(LayoutError):
+            image.node_at(10**9)
+
+    def test_first_child_address_contiguity(self):
+        # BFS order puts all children of one node contiguously, which is
+        # what the paper's child-offset encoding requires.
+        tree = build_tree(2000)
+        image = TreeImage(tree.nodes())
+        for node in tree.nodes():
+            if node.children:
+                base = image.first_child_address(node)
+                for i, child in enumerate(node.children):
+                    assert image.address_of(child) == base + i * image.node_stride
+
+    def test_node_address_attribute_set(self):
+        tree = build_tree(50)
+        image = TreeImage(tree.nodes())
+        for node in tree.nodes():
+            assert node.address == image.address_of(node)

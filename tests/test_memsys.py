@@ -1,0 +1,184 @@
+"""Unit and property tests for the memory system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, LayoutError
+from repro.gpu.config import GPUConfig
+from repro.memsys import AddressSpace, Cache, MemoryHierarchy, coalesce_sectors
+from repro.sim import Simulator
+from repro.trees import BTree
+
+
+class TestCache:
+    def test_miss_then_hit_after_fill(self):
+        c = Cache("t", 1024, 2, line_size=64)
+        assert not c.lookup(0)
+        c.fill(0)
+        assert c.lookup(0)
+        assert c.lookup(63)      # same line
+        assert not c.lookup(64)  # next line
+
+    def test_lru_eviction_within_set(self):
+        c = Cache("t", 2 * 64, 2, line_size=64)  # 1 set, 2 ways
+        c.fill(0)
+        c.fill(64)
+        c.lookup(0)          # 0 is now MRU
+        c.fill(128)          # evicts 64
+        assert c.lookup(0)
+        assert not c.lookup(64)
+        assert c.lookup(128)
+
+    def test_fully_associative(self):
+        c = Cache("t", 1024, -1, line_size=64)
+        assert c.n_sets == 1
+        assert c.assoc == 16
+
+    def test_sets_indexed_by_line(self):
+        c = Cache("t", 4096, 1, line_size=64)  # direct mapped, 64 sets
+        c.fill(0)
+        c.fill(64 * 64)  # maps to same set 0 -> evicts
+        assert not c.lookup(0)
+
+    def test_hit_rate(self):
+        c = Cache("t", 1024, -1, line_size=64)
+        c.lookup(0)
+        c.fill(0)
+        c.lookup(0)
+        assert c.hit_rate == pytest.approx(0.5)
+        assert c.misses == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cache("t", 0, 2)
+        with pytest.raises(ConfigurationError):
+            Cache("t", 64, 2, line_size=128)
+
+
+class TestCoalescer:
+    def test_same_sector_merges(self):
+        sectors = coalesce_sectors([(0, 4), (8, 4), (28, 4)])
+        assert sectors == [0]
+
+    def test_spanning_request_covers_two_sectors(self):
+        assert coalesce_sectors([(30, 4)]) == [0, 32]
+
+    def test_divergent_lanes_worst_case(self):
+        reqs = [(i * 64, 4) for i in range(32)]
+        assert len(coalesce_sectors(reqs)) == 32
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_sectors([(0, 0)])
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10**6),
+                              st.integers(min_value=1, max_value=256)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_cover_minimal_and_complete(self, reqs):
+        sectors = set(coalesce_sectors(reqs))
+        covered = set()
+        for base in sectors:
+            assert base % 32 == 0
+            covered.update(range(base, base + 32))
+        touched = set()
+        for addr, size in reqs:
+            touched.update(range(addr, addr + size))
+        # complete: every requested byte covered
+        assert touched <= covered
+        # minimal: every sector contains a requested byte
+        for base in sectors:
+            assert any(b in touched for b in range(base, base + 32))
+
+
+def small_config(**kw):
+    return GPUConfig(l1_size=4 * 128, l2_size=16 * 16 * 128,
+                     l2_latency=100, dram_latency=200,
+                     dram_bytes_per_cycle=32.0).with_overrides(**kw)
+
+
+class TestHierarchy:
+    def test_l1_hit_is_fast(self):
+        sim = Simulator()
+        h = MemoryHierarchy(sim, small_config())
+        l1 = h.make_l1(0)
+        first = h.access_sectors(0, l1, [0])
+        assert first > 200  # went to DRAM
+        again = h.access_sectors(first, l1, [0])
+        assert again == first + h.config.l1_latency
+
+    def test_l2_hit_avoids_dram(self):
+        sim = Simulator()
+        h = MemoryHierarchy(sim, small_config())
+        l1a, l1b = h.make_l1(0), h.make_l1(1)
+        t1 = h.access_sectors(0, l1a, [0])
+        dram_before = h.dram.requests
+        t2 = h.access_sectors(t1, l1b, [0])  # other SM: L1 miss, L2 hit
+        assert h.dram.requests == dram_before
+        assert t2 - t1 < h.config.dram_latency
+
+    def test_mshr_merge_piggybacks(self):
+        sim = Simulator()
+        h = MemoryHierarchy(sim, small_config())
+        l1a, l1b = h.make_l1(0), h.make_l1(1)
+        t1 = h.access_sectors(0, l1a, [0])
+        t2 = h.access_sectors(1, l1b, [0])  # in flight: merge
+        assert h.mshr_merges == 1
+        assert t2 == t1
+        assert h.dram.requests == 1
+
+    def test_dram_bandwidth_contention(self):
+        sim = Simulator()
+        h = MemoryHierarchy(sim, small_config())
+        # 64 distinct lines at once: DRAM serializes at 128B / 32Bpc = 4 cyc
+        addrs = [i * 128 for i in range(64)]
+        done = h.access_sectors(0, None, addrs)
+        first = h.access_sectors(0, None, [addrs[0]])
+        assert done >= 64 * 4  # bandwidth-limited tail
+
+    def test_utilization_reported(self):
+        sim = Simulator()
+        h = MemoryHierarchy(sim, small_config())
+        h.access_sectors(0, None, [i * 128 for i in range(16)])
+        stats = h.stats(end=1000)
+        assert 0 < stats["dram_utilization"] <= 1
+        assert stats["dram_bytes"] == 16 * 128
+
+    def test_no_l1_path_allowed(self):
+        sim = Simulator()
+        h = MemoryHierarchy(sim, small_config())
+        t = h.access_sectors(0, None, [0])
+        assert t > 0
+
+
+class TestAddressSpace:
+    def test_alloc_alignment(self):
+        space = AddressSpace()
+        a = space.alloc(100, align=64)
+        b = space.alloc(10, align=256)
+        assert a % 64 == 0
+        assert b % 256 == 0
+        assert b >= a + 100
+
+    def test_bad_alloc_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(LayoutError):
+            space.alloc(0)
+        with pytest.raises(LayoutError):
+            space.alloc(8, align=3)
+
+    def test_place_tree_and_lookup(self):
+        space = AddressSpace()
+        tree = BTree.bulk_load(list(range(100)))
+        image = space.place_tree(tree.nodes())
+        assert space.node_at(image.address_of(tree.root)) is tree.root
+        assert space.node_at(0) is None
+
+    def test_two_trees_disjoint(self):
+        space = AddressSpace()
+        t1 = BTree.bulk_load(list(range(100)))
+        t2 = BTree.bulk_load(list(range(200, 300)))
+        i1 = space.place_tree(t1.nodes())
+        i2 = space.place_tree(t2.nodes())
+        assert i1.end <= i2.base

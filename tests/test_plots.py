@@ -1,0 +1,83 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.harness.plots import auto_plots, bar_chart
+from repro.harness.results import Table
+
+
+def sample_table():
+    t = Table("Speedups", ["workload", "config", "tta", "ttaplus"])
+    t.add_row("btree", "small", 2.5, 2.2)
+    t.add_row("bplus", "small", 1.4, 1.3)
+    t.add_row("rtnn", "small", float("nan"), 0.9)
+    return t
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(sample_table(), "tta")
+        lines = chart.splitlines()
+        btree_line = next(l for l in lines if l.startswith("btree"))
+        bplus_line = next(l for l in lines if l.startswith("bplus"))
+        assert btree_line.count("█") > bplus_line.count("█")
+
+    def test_nan_rows_skipped(self):
+        chart = bar_chart(sample_table(), "tta")
+        assert "rtnn" not in chart
+
+    def test_reference_marker_present(self):
+        chart = bar_chart(sample_table(), "tta", reference=1.0)
+        assert "|" in chart
+        assert "'|' marks 1" in chart
+
+    def test_values_printed(self):
+        chart = bar_chart(sample_table(), "ttaplus")
+        assert "2.2" in chart and "1.3" in chart
+
+    def test_custom_title_and_labels(self):
+        chart = bar_chart(sample_table(), "tta",
+                          label_columns=["workload"], title="My Chart")
+        assert chart.startswith("My Chart")
+        assert "small" not in chart
+
+    def test_empty_numeric_data(self):
+        t = Table("t", ["name", "value"])
+        t.add_row("a", float("nan"))
+        assert "(no numeric data)" in bar_chart(t, "value")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(sample_table(), "nope")
+
+
+class TestAutoPlots:
+    def test_fig12_produces_two_charts(self):
+        t = Table("Fig. 12", ["workload", "config", "tta", "ttaplus",
+                              "paper_range"])
+        t.add_row("btree", "x", 2.0, 1.8, "(1,5)")
+        charts = auto_plots("fig12", t)
+        assert len(charts) == 2
+        assert "TTA speedup" in charts[0]
+        assert "TTA+" in charts[1]
+
+    def test_fig13_chart_per_platform(self):
+        t = Table("Fig. 13", ["workload", "gpu", "rta", "tta", "ttaplus"])
+        t.add_row("btree", 0.2, float("nan"), 0.4, 0.38)
+        charts = auto_plots("fig13", t)
+        assert len(charts) == 3
+
+    def test_fallback_for_unknown_experiment(self):
+        charts = auto_plots("mystery", sample_table())
+        assert len(charts) == 1
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.__main__ import main
+        from repro.harness import experiments
+        experiments.clear_cache()
+        assert main(["run", "fig13", "--scale", "smoke", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+        experiments.clear_cache()

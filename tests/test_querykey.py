@@ -1,0 +1,111 @@
+"""Tests for TTA's Query-Key comparison (Figs. 8-9 vs. Algorithm 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueryKeyComparator
+from repro.errors import ConfigurationError
+
+UNIT = QueryKeyComparator()
+
+
+class TestCompareGroup:
+    def test_query_below_all(self):
+        r = UNIT.compare_group(1.0, 2.0, 4.0, 6.0)
+        assert (r.found, r.child) == (False, 0)
+
+    def test_query_between(self):
+        r = UNIT.compare_group(3.0, 2.0, 4.0, 6.0)
+        assert (r.found, r.child) == (False, 1)
+        r = UNIT.compare_group(5.0, 2.0, 4.0, 6.0)
+        assert (r.found, r.child) == (False, 2)
+
+    def test_query_above_all(self):
+        r = UNIT.compare_group(7.0, 2.0, 4.0, 6.0)
+        assert (r.found, r.child) == (False, None)
+
+    def test_exact_matches(self):
+        for i, q in enumerate((2.0, 4.0, 6.0)):
+            r = UNIT.compare_group(q, 2.0, 4.0, 6.0)
+            assert r.found
+            assert r.child == i
+
+    def test_unsorted_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UNIT.compare_group(1.0, 4.0, 2.0, 6.0)
+
+
+class TestCompareWide:
+    KEYS = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]
+
+    def test_routes_every_interval(self):
+        for i, expected_key in enumerate(self.KEYS):
+            r = UNIT.compare(expected_key - 1.0, self.KEYS)
+            assert (r.found, r.child) == (False, i)
+
+    def test_match_in_every_slot(self):
+        for i, key in enumerate(self.KEYS):
+            r = UNIT.compare(key, self.KEYS)
+            assert r.found and r.child == i
+
+    def test_beyond_all_keys(self):
+        r = UNIT.compare(95.0, self.KEYS)
+        assert (r.found, r.child) == (False, None)
+
+    def test_partial_node_padding(self):
+        keys = [10.0, 20.0, 30.0, 40.0]  # 4 of 9 slots used
+        assert UNIT.compare(25.0, keys).child == 2
+        assert UNIT.compare(45.0, keys) == (False, None)
+        assert UNIT.compare(40.0, keys) == (True, 3)
+
+    def test_single_key(self):
+        assert UNIT.compare(5.0, [7.0]).child == 0
+        assert UNIT.compare(7.0, [7.0]).found
+        assert UNIT.compare(9.0, [7.0]).child is None
+
+    def test_too_many_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UNIT.compare(1.0, list(range(10)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UNIT.compare(1.0, [])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UNIT.compare(1.0, [3.0, 1.0, 2.0])
+
+
+@given(st.integers(min_value=-1000, max_value=1000),
+       st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=9))
+@settings(max_examples=300, deadline=None)
+def test_property_minmax_network_equals_algorithm1(query, raw_keys):
+    """The Fig. 9 min/max mapping must agree with Algorithm 1's loop."""
+    keys = sorted(float(k) for k in raw_keys)
+    query = float(query)
+    hardware = UNIT.compare(query, keys)
+    reference = UNIT.reference(query, keys)
+    assert hardware.found == reference.found
+    assert hardware.child == reference.child
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+       st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=9, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_property_float_keys_agree(query, raw_keys):
+    keys = sorted(raw_keys)
+    hardware = UNIT.compare(query, keys)
+    reference = UNIT.reference(query, keys)
+    assert hardware == reference
+
+
+def test_nine_wide_matches_paper_configuration():
+    """Three min/max pairs x three keys each = 9 children per issue."""
+    assert UNIT.WIDTH == 9
+    assert UNIT.GROUP == 3
+    assert UNIT.LANES == 3

@@ -1,0 +1,99 @@
+"""Tests for the B+Tree range-scan kernels (extension)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GPU, GPUConfig
+from repro.harness.runner import scaled_config_for
+from repro.kernels.range_scan import (
+    RangeScanKernelArgs,
+    _scan_leaves,
+    build_range_scan_jobs,
+    range_scan_accel_kernel,
+    range_scan_baseline_kernel,
+)
+from repro.memsys.memory_image import AddressSpace
+from repro.rta.rta import make_rta_factory
+from repro.trees import BPlusTree
+
+
+def make_setup(n_keys=4096, n_ranges=256, width=200, seed=0):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(n_keys * 4), n_keys))
+    tree = BPlusTree.bulk_load(keys, seed=seed)
+    space = AddressSpace()
+    space.place_tree(tree.nodes())
+    ranges = []
+    for _ in range(n_ranges):
+        lo = rng.randrange(n_keys * 4)
+        ranges.append((lo, lo + width))
+    args = RangeScanKernelArgs(
+        tree=tree, ranges=ranges,
+        query_buf=space.alloc(8 * n_ranges, align=128),
+        result_buf=space.alloc(4 * n_ranges, align=128),
+    )
+    return tree, ranges, args, keys
+
+
+class TestScanHelpers:
+    def test_scan_leaves_cover_range(self):
+        tree, ranges, args, keys = make_setup()
+        for lo, hi in ranges[:20]:
+            leaves = _scan_leaves(tree, lo, hi)
+            covered = [k for leaf in leaves for k in leaf.keys]
+            expected = [k for k in keys if lo <= k <= hi]
+            assert set(expected) <= set(covered)
+
+    def test_jobs_end_at_leaf(self):
+        tree, ranges, args, keys = make_setup(n_ranges=16)
+        jobs = build_range_scan_jobs(tree, ranges)
+        for job in jobs:
+            assert len(job.steps) == tree.height()
+
+    def test_bad_flavor(self):
+        tree, ranges, _args, _keys = make_setup(n_ranges=4)
+        with pytest.raises(ConfigurationError):
+            build_range_scan_jobs(tree, ranges, flavor="rta")
+
+
+class TestKernels:
+    def test_baseline_results_correct(self):
+        tree, ranges, args, keys = make_setup(n_ranges=64)
+        GPU(GPUConfig(n_sms=2)).launch(range_scan_baseline_kernel, 64,
+                                       args=args)
+        for tid, (lo, hi) in enumerate(ranges[:64]):
+            assert args.results[tid] == [k for k in keys if lo <= k <= hi]
+
+    def test_accel_matches_baseline(self):
+        tree, ranges, args, keys = make_setup(n_ranges=64)
+        args.jobs = build_range_scan_jobs(tree, ranges[:64])
+        gpu = GPU(GPUConfig(n_sms=2),
+                  accelerator_factory=make_rta_factory(tta=True))
+        gpu.launch(range_scan_accel_kernel, 64, args=args)
+        for tid, (lo, hi) in enumerate(ranges[:64]):
+            assert args.results[tid] == [k for k in keys if lo <= k <= hi]
+
+    def test_speedup_shrinks_with_range_width(self):
+        """The offload only covers the descent: wider ranges dilute it."""
+        speedups = {}
+        for width in (10, 4000):
+            tree, ranges, args, keys = make_setup(n_ranges=256, width=width,
+                                                  seed=3)
+            cfg = scaled_config_for(len(tree.nodes()) * 64)
+            base_args = RangeScanKernelArgs(
+                tree=tree, ranges=ranges, query_buf=args.query_buf,
+                result_buf=args.result_buf)
+            base = GPU(cfg).launch(range_scan_baseline_kernel, 256,
+                                   args=base_args)
+            accel_args = RangeScanKernelArgs(
+                tree=tree, ranges=ranges, query_buf=args.query_buf,
+                result_buf=args.result_buf,
+                jobs=build_range_scan_jobs(tree, ranges))
+            accel = GPU(cfg, accelerator_factory=make_rta_factory(
+                tta=True)).launch(range_scan_accel_kernel, 256,
+                                  args=accel_args)
+            speedups[width] = base.cycles / accel.cycles
+        assert speedups[10] > speedups[4000]
+        assert speedups[10] > 1.0

@@ -1,0 +1,158 @@
+"""Unit and property tests for the R-Tree spatial index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.trees.rtree import RectEntry, RTree, make_rect
+
+
+def random_entries(n, seed=0, span=100.0):
+    rng = random.Random(seed)
+    entries = []
+    for i in range(n):
+        x, y = rng.uniform(0, span), rng.uniform(0, span)
+        entries.append(RectEntry(
+            make_rect(x, y, x + rng.uniform(0.1, 3), y + rng.uniform(0.1, 3)),
+            i))
+    return entries
+
+
+def brute_force(entries, window):
+    out = []
+    for entry in entries:
+        r = entry.rect
+        if (r.lo.x <= window.hi.x and window.lo.x <= r.hi.x
+                and r.lo.y <= window.hi.y and window.lo.y <= r.hi.y):
+            out.append(entry.data_id)
+    return tuple(sorted(out))
+
+
+class TestMakeRect:
+    def test_normalizes_corners(self):
+        r = make_rect(5, 7, 1, 2)
+        assert r.lo == Vec3(1, 2, 0)
+        assert r.hi == Vec3(5, 7, 0)
+
+
+class TestBulkLoad:
+    def test_invariants_and_count(self):
+        entries = random_entries(1000, seed=1)
+        tree = RTree.bulk_load(entries)
+        tree.check_invariants()
+        assert len(tree) == 1000
+
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.range_query(make_rect(0, 0, 10, 10)).ids == ()
+
+    def test_height_logarithmic(self):
+        small = RTree.bulk_load(random_entries(50))
+        large = RTree.bulk_load(random_entries(5000))
+        assert small.height() <= large.height() <= 6
+
+    def test_str_packing_dense(self):
+        tree = RTree.bulk_load(random_entries(900))
+        leaves = [n for n in tree.nodes() if n.is_leaf]
+        mean_fill = sum(n.width for n in leaves) / len(leaves)
+        assert mean_fill > 0.7 * tree.max_entries
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self):
+        entries = random_entries(800, seed=2)
+        tree = RTree.bulk_load(entries)
+        rng = random.Random(3)
+        for _ in range(50):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            window = make_rect(x, y, x + rng.uniform(1, 20),
+                               y + rng.uniform(1, 20))
+            assert tree.range_query(window).ids == \
+                brute_force(entries, window)
+
+    def test_empty_window_far_away(self):
+        tree = RTree.bulk_load(random_entries(100))
+        result = tree.range_query(make_rect(10_000, 10_000, 10_001, 10_001))
+        assert result.ids == ()
+        assert len(result.visits) == 1  # root only
+
+    def test_visit_trace_kinds(self):
+        tree = RTree.bulk_load(random_entries(500, seed=4))
+        result = tree.range_query(make_rect(0, 0, 100, 100))
+        kinds = {v.kind for v in result.visits}
+        assert kinds == {"inner", "leaf"}
+        # A window covering everything returns every id.
+        assert len(result.ids) == 500
+
+
+class TestInsert:
+    def test_insert_then_query(self):
+        entries = random_entries(300, seed=5)
+        tree = RTree()
+        for entry in entries:
+            tree.insert(entry.rect, entry.data_id)
+        tree.check_invariants()
+        window = make_rect(20, 20, 60, 60)
+        assert tree.range_query(window).ids == brute_force(entries, window)
+
+    def test_split_keeps_min_fill(self):
+        tree = RTree(max_entries=4)
+        for entry in random_entries(100, seed=6):
+            tree.insert(entry.rect, entry.data_id)
+        tree.check_invariants()
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=3)
+
+
+class TestRunner:
+    def test_end_to_end_platforms(self):
+        from repro.harness.runner import run_rtree, scaled_config_for
+        from repro.workloads import make_rtree_workload
+
+        wl = make_rtree_workload(n_rects=1024, n_queries=256, seed=7)
+        cfg = scaled_config_for(wl.image.size_bytes)
+        base = run_rtree(wl, "gpu", config=cfg)
+        tta = run_rtree(wl, "tta", config=cfg)
+        tp = run_rtree(wl, "ttaplus", config=cfg)
+        # Same story as B-Trees: the accelerators win, TTA+ trades a
+        # little performance for programmability.
+        assert tta.speedup_over(base) > 1.0
+        assert tp.speedup_over(base) > 0.8
+
+    def test_bad_platform(self):
+        from repro.harness.runner import run_rtree
+        from repro.workloads import make_rtree_workload
+        wl = make_rtree_workload(n_rects=64, n_queries=8)
+        with pytest.raises(ConfigurationError):
+            run_rtree(wl, "rta")
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_bulk_load_query_correct(n, seed):
+    entries = random_entries(n, seed=seed)
+    tree = RTree.bulk_load(entries)
+    tree.check_invariants()
+    rng = random.Random(seed + 1)
+    x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+    window = make_rect(x, y, x + 15, y + 15)
+    assert tree.range_query(window).ids == brute_force(entries, window)
+
+
+@given(st.integers(min_value=5, max_value=120),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_insert_invariants(n, seed):
+    tree = RTree(max_entries=5)
+    for entry in random_entries(n, seed=seed):
+        tree.insert(entry.rect, entry.data_id)
+    tree.check_invariants()

@@ -1,0 +1,239 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.resources import PipelinedUnit, ThroughputResource, Timeline
+from repro.sim.stats import Counter, LatencySampler, OccupancyTracker
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(5, order.append, "b")
+        sim.call_at(1, order.append, "a")
+        sim.call_at(9, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 9
+
+    def test_equal_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in range(10):
+            sim.call_at(3, order.append, tag)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.call_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(100, fired.append, 1)
+        sim.run(until=50)
+        assert fired == []
+        assert sim.now == 50
+
+    def test_process_delays(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield 10
+            times.append(sim.now)
+            yield 5
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [0, 10, 15]
+
+    def test_process_waits_on_signal(self):
+        sim = Simulator()
+        got = []
+        sig = sim.signal()
+
+        def waiter():
+            value = yield sig
+            got.append((sim.now, value))
+
+        sim.spawn(waiter())
+        sig.fire_at(42, "payload")
+        sim.run()
+        assert got == [(42, "payload")]
+
+    def test_signal_fired_before_wait_resumes_immediately(self):
+        sim = Simulator()
+        got = []
+        sig = sim.signal()
+        sig.fire("early")
+
+        def waiter():
+            yield 7
+            value = yield sig
+            got.append((sim.now, value))
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == [(7, "early")]
+
+    def test_signal_cannot_fire_twice(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire()
+        with pytest.raises(SimulationError):
+            sig.fire()
+
+    def test_multiple_waiters_all_resume(self):
+        sim = Simulator()
+        woken = []
+        sig = sim.signal()
+
+        def waiter(tag):
+            yield sig
+            woken.append(tag)
+
+        for tag in range(4):
+            sim.spawn(waiter(tag))
+        sig.fire_at(3)
+        sim.run()
+        assert sorted(woken) == [0, 1, 2, 3]
+
+    def test_process_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield 1
+
+        sim.spawn(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestTimeline:
+    def test_serves_fifo_back_to_back(self):
+        tl = Timeline()
+        assert tl.acquire(0, 4) == 0
+        assert tl.acquire(0, 4) == 4
+        assert tl.acquire(2, 4) == 8
+
+    def test_idle_gap_not_counted_busy(self):
+        tl = Timeline()
+        tl.acquire(0, 2)
+        tl.acquire(10, 2)
+        assert tl.busy_cycles == 4
+        assert tl.utilization(20) == pytest.approx(0.2)
+
+    def test_negative_service_rejected(self):
+        tl = Timeline()
+        with pytest.raises(SimulationError):
+            tl.acquire(0, -1)
+
+
+class TestPipelinedUnit:
+    def test_latency_and_initiation_interval(self):
+        unit = PipelinedUnit("raybox", latency=13)
+        start0, done0 = unit.issue(0)
+        start1, done1 = unit.issue(0)
+        assert (start0, done0) == (0, 13)
+        assert (start1, done1) == (1, 14)  # II=1: next slot, full latency
+
+    def test_occupancy_counts_queued_plus_executing(self):
+        unit = PipelinedUnit("raytri", latency=37)
+        for _ in range(5):
+            unit.issue(0)
+        assert unit.occupancy.peak == 5
+        for t in (37, 38, 39, 40, 41):
+            unit.complete(t)
+        assert unit.occupancy.current == 0
+
+    def test_utilization_is_issue_slot_fraction(self):
+        unit = PipelinedUnit("u", latency=4)
+        unit.issue(0)
+        unit.issue(1)
+        assert unit.utilization(10) == pytest.approx(0.2)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            PipelinedUnit("bad", latency=0)
+
+
+class TestThroughputResource:
+    def test_transfer_time_scales_with_amount(self):
+        dram = ThroughputResource("dram", per_cycle=32, latency=100)
+        done = dram.transfer(0, 64)
+        assert done == pytest.approx(102)
+
+    def test_contention_serializes(self):
+        dram = ThroughputResource("dram", per_cycle=32)
+        first = dram.transfer(0, 320)   # 10 cycles of bus time
+        second = dram.transfer(0, 32)   # queued behind it
+        assert first == pytest.approx(10)
+        assert second == pytest.approx(11)
+
+    def test_utilization(self):
+        dram = ThroughputResource("dram", per_cycle=32)
+        dram.transfer(0, 320)
+        assert dram.utilization(20) == pytest.approx(0.5)
+        assert dram.bytes_moved == 320
+
+
+class TestStats:
+    def test_counter_merge_and_total(self):
+        a, b = Counter(), Counter()
+        a.add("alu", 3)
+        b.add("alu", 2)
+        b.add("mem")
+        a.merge(b)
+        assert a.get("alu") == 5
+        assert a.total() == 6
+        assert a.total(["mem"]) == 1
+
+    def test_occupancy_average_and_peak(self):
+        occ = OccupancyTracker()
+        occ.enter(0)
+        occ.enter(0)
+        occ.exit(10)
+        occ.exit(10)
+        # 2 items in flight for 10 cycles out of 20 -> average 1.0
+        assert occ.average(20) == pytest.approx(1.0)
+        assert occ.peak == 2
+        assert occ.entries == 2
+
+    def test_occupancy_rejects_time_travel(self):
+        occ = OccupancyTracker()
+        occ.enter(5)
+        with pytest.raises(ValueError):
+            occ.enter(3)
+
+    def test_occupancy_rejects_negative(self):
+        occ = OccupancyTracker()
+        with pytest.raises(ValueError):
+            occ.exit(0)
+
+    def test_latency_sampler(self):
+        lat = LatencySampler()
+        for v in (10, 20, 30):
+            lat.sample(v)
+        assert lat.mean == pytest.approx(20)
+        assert (lat.min, lat.max, lat.count) == (10, 30, 3)
