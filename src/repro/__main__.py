@@ -3,12 +3,26 @@
 Examples::
 
     python -m repro list
-    python -m repro run fig12
+    python -m repro run fig12 --jobs 4
     python -m repro run fig12 fig13 --scale large --csv-dir results/
-    python -m repro run all --scale smoke
+    python -m repro run all --scale smoke --no-cache
+    python -m repro sweep btree --param n_keys=4096,16384 --jobs 4
+    python -m repro cache stats
+    python -m repro cache clear
+
+``run`` and ``sweep`` route every simulation point through the
+execution service (:mod:`repro.exec`): with ``--jobs N`` independent
+points fan out over a worker-process pool, and completed points are
+memoized in a content-addressed on-disk cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``) so re-running a figure or resuming an interrupted
+sweep only executes the missing points.  Each command prints a manifest
+line (``[exec] total=.. executed=.. cached=..``) accounting for every
+point.
 """
 
 import argparse
+import itertools
+import os
 import pathlib
 import sys
 import time
@@ -30,6 +44,39 @@ EXPERIMENTS = {
     "nbody_fusion": experiments.nbody_fusion,
 }
 
+#: Platforms accepted by each sweepable workload family's runner.
+SWEEP_PLATFORMS = {
+    "btree": ("gpu", "tta", "ttaplus"),
+    "nbody": ("gpu", "tta", "ttaplus"),
+    "rtnn": ("gpu", "rta", "tta", "ttaplus", "ttaplus_opt"),
+    "rtree": ("gpu", "tta", "ttaplus"),
+    "knn": ("gpu", "tta", "ttaplus"),
+    "wknd": ("rta", "ttaplus", "ttaplus_opt"),
+    "lumi": ("gpu", "rta", "ttaplus", "ttaplus_opt"),
+}
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="run up to N simulation points in parallel "
+                             "worker processes (default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-point timeout in seconds (parallel runs)")
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv-dir", type=pathlib.Path, default=None,
+                        help="also write each table as CSV into this "
+                             "directory")
+    parser.add_argument("--json-dir", type=pathlib.Path, default=None,
+                        help="also write each table as full-precision JSON "
+                             "into this directory")
+    parser.add_argument("--json", action="store_true",
+                        help="print each table as JSON instead of the "
+                             "formatted text")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -44,13 +91,34 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("experiments", nargs="+",
                      help="experiment names (or 'all')")
-    run.add_argument("--scale", default="small",
+    run.add_argument("--scale",
+                     default=os.environ.get("REPRO_SCALE", "small"),
                      choices=sorted(experiments.SCALES),
-                     help="workload scale (default: small)")
-    run.add_argument("--csv-dir", type=pathlib.Path, default=None,
-                     help="also write each table as CSV into this directory")
+                     help="workload scale (default: $REPRO_SCALE or small)")
     run.add_argument("--plot", action="store_true",
                      help="render ASCII bar charts after each table")
+    _add_output_options(run)
+    _add_exec_options(run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a custom parameter sweep over one workload family")
+    sweep.add_argument("kind", choices=sorted(SWEEP_PLATFORMS),
+                       help="workload family")
+    sweep.add_argument("--platforms", default=None, metavar="P1,P2,...",
+                       help="platforms to sweep (default: all valid for "
+                            "the family)")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="KEY=V1[,V2,...]",
+                       help="workload parameter values; repeat for the "
+                            "cartesian product (e.g. --param "
+                            "n_keys=4096,16384 --param n_queries=1024)")
+    _add_output_options(sweep)
+    _add_exec_options(sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
     return parser
 
 
@@ -76,7 +144,32 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(names, scale: str, csv_dir, plot: bool = False) -> int:
+def _configure_service(jobs: int, no_cache: bool, timeout):
+    from repro import exec as exec_mod
+
+    return exec_mod.configure(jobs=jobs, cache_enabled=not no_cache,
+                              timeout=timeout, progress=jobs > 1)
+
+
+def _emit_table(name: str, table, *, json_out: bool, csv_dir, json_dir,
+                plot: bool = False) -> None:
+    print(table.to_json() if json_out else table.format())
+    if plot:
+        from repro.harness.plots import auto_plots
+        for chart in auto_plots(name, table):
+            print(chart)
+            print()
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        (csv_dir / f"{name}.csv").write_text(table.to_csv())
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        (json_dir / f"{name}.json").write_text(table.to_json())
+
+
+def cmd_run(names, scale: str, csv_dir, plot: bool = False,
+            jobs: int = 1, no_cache: bool = False, timeout=None,
+            json_dir=None, json_out: bool = False) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -84,21 +177,115 @@ def cmd_run(names, scale: str, csv_dir, plot: bool = False) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    if csv_dir is not None:
-        csv_dir.mkdir(parents=True, exist_ok=True)
+    service = _configure_service(jobs, no_cache, timeout)
     for name in names:
         started = time.time()
-        table = EXPERIMENTS[name](scale)
-        print(table.format())
-        print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]")
-        print()
-        if plot:
-            from repro.harness.plots import auto_plots
-            for chart in auto_plots(name, table):
-                print(chart)
-                print()
-        if csv_dir is not None:
-            (csv_dir / f"{name}.csv").write_text(table.to_csv())
+        table = service.run_figure(EXPERIMENTS[name], scale)
+        _emit_table(name, table, json_out=json_out, csv_dir=csv_dir,
+                    json_dir=json_dir, plot=plot)
+        # With --json, stdout must stay parseable (repro run fig --json | jq):
+        # route the manifest/timing chatter to stderr.
+        chatter = sys.stderr if json_out else sys.stdout
+        print(service.manifest.summary(), file=chatter)
+        print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]",
+              file=chatter)
+        print(file=chatter)
+    return 0
+
+
+def _parse_param(text: str):
+    """``key=v1,v2`` → (key, [typed values])."""
+    if "=" not in text:
+        raise SystemExit(f"bad --param {text!r}: expected KEY=V1[,V2,...]")
+    key, _, raw = text.partition("=")
+
+    def typed(token: str):
+        lowered = token.lower()
+        if lowered in ("true", "false"):
+            return lowered == "true"
+        for cast in (int, float):
+            try:
+                return cast(token)
+            except ValueError:
+                continue
+        return token
+
+    values = [typed(tok) for tok in raw.split(",") if tok != ""]
+    if not values:
+        raise SystemExit(f"bad --param {text!r}: no values")
+    return key.strip(), values
+
+
+def cmd_sweep(kind: str, platforms, params, csv_dir=None, json_dir=None,
+              json_out: bool = False, jobs: int = 1, no_cache: bool = False,
+              timeout=None) -> int:
+    from repro.exec import make_spec
+    from repro.harness.results import Table
+
+    valid = SWEEP_PLATFORMS[kind]
+    if platforms:
+        chosen = [p.strip() for p in platforms.split(",") if p.strip()]
+        bad = [p for p in chosen if p not in valid]
+        if bad:
+            print(f"invalid platform(s) for {kind}: {', '.join(bad)} "
+                  f"(valid: {', '.join(valid)})", file=sys.stderr)
+            return 2
+    else:
+        chosen = list(valid)
+
+    grid = {}
+    for item in params:
+        key, values = _parse_param(item)
+        grid[key] = values
+    keys = sorted(grid)
+    combos = [dict(zip(keys, values))
+              for values in itertools.product(*(grid[k] for k in keys))] \
+        if keys else [{}]
+
+    service = _configure_service(jobs, no_cache, timeout)
+    specs = [make_spec(kind, combo, platform,
+                       config=experiments.default_config_policy(kind))
+             for combo in combos for platform in chosen]
+    service.run_many(specs)
+
+    table = Table(
+        f"sweep — {kind} × {len(combos)} point(s) × "
+        f"{len(chosen)} platform(s)",
+        ["params", "platform", "cycles", "simt_eff", "dram_util",
+         "energy_mj"],
+    )
+    failures = 0
+    for spec in specs:
+        record = service.manifest.records.get(spec.key)
+        if record is not None and record.status == "failed":
+            failures += 1
+            print(f"[exec] FAILED {spec.label}: {record.error}",
+                  file=sys.stderr)
+            continue
+        run = service.run(spec)
+        label = ",".join(f"{k}={v}" for k, v in
+                         sorted(spec.workload.items())) or "(defaults)"
+        table.add_row(label, spec.platform, run.cycles,
+                      run.simt_efficiency, run.dram_utilization,
+                      run.energy.total_mj)
+    _emit_table(f"sweep_{kind}", table, json_out=json_out, csv_dir=csv_dir,
+                json_dir=json_dir)
+    print(service.manifest.summary())
+    return 1 if failures else 0
+
+
+def cmd_cache(action: str) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache()
+    if action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']} (format {stats['format']})")
+        print(f"entries:    {stats['entries']}")
+        print(f"size:       {stats['bytes'] / 1e6:.2f} MB")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.base}")
     return 0
 
 
@@ -106,8 +293,17 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "sweep":
+        return cmd_sweep(args.kind, args.platforms, args.param,
+                         csv_dir=args.csv_dir, json_dir=args.json_dir,
+                         json_out=args.json, jobs=args.jobs,
+                         no_cache=args.no_cache, timeout=args.timeout)
+    if args.command == "cache":
+        return cmd_cache(args.action)
     return cmd_run(args.experiments, args.scale, args.csv_dir,
-                   plot=getattr(args, "plot", False))
+                   plot=getattr(args, "plot", False), jobs=args.jobs,
+                   no_cache=args.no_cache, timeout=args.timeout,
+                   json_dir=args.json_dir, json_out=args.json)
 
 
 if __name__ == "__main__":

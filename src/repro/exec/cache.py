@@ -1,0 +1,123 @@
+"""Content-addressed on-disk cache of completed runs.
+
+Layout (one entry per :class:`~repro.exec.spec.RunSpec` key)::
+
+    <root>/v1/<key[:2]>/<key>.pkl    pickled RunResult
+    <root>/v1/<key[:2]>/<key>.json   spec + creation metadata (debuggable)
+
+The pickle is the payload; the JSON sidecar exists so ``repro cache
+stats`` and humans can see *what* an entry is without unpickling it.
+Writes are atomic (tempfile + ``os.replace``) so a killed sweep never
+leaves a truncated entry behind; unreadable entries are treated as
+misses and deleted.
+
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+Because the engine is deterministic, a cache hit is byte-identical to
+re-running the simulation (``tests/test_exec.py`` asserts this), so
+resuming an interrupted sweep only executes the missing points.
+"""
+
+import os
+import pathlib
+import pickle
+import shutil
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exec.spec import RunSpec
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: On-disk format version: bump when the entry layout/serialization
+#: changes.  Distinct from the spec schema, which governs *keys*.
+FORMAT = "v1"
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Filesystem-backed, content-addressed RunResult store."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None) -> None:
+        self.base = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.root = self.base / FORMAT
+
+    # -- paths ----------------------------------------------------------------
+    def _paths(self, key: str) -> Tuple[pathlib.Path, pathlib.Path]:
+        shard = self.root / key[:2]
+        return shard / f"{key}.pkl", shard / f"{key}.json"
+
+    # -- read -----------------------------------------------------------------
+    def contains(self, spec: RunSpec) -> bool:
+        return self._paths(spec.key)[0].exists()
+
+    def get(self, spec: RunSpec) -> Optional[Any]:
+        """Return the cached RunResult for ``spec``, or None on a miss.
+
+        A corrupt or unreadable entry (interrupted write from an older,
+        pre-atomic layout, disk fault, unpicklable class drift) is
+        evicted and reported as a miss rather than poisoning the run.
+        """
+        pkl, meta = self._paths(spec.key)
+        try:
+            with open(pkl, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            for path in (pkl, meta):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+
+    # -- write ----------------------------------------------------------------
+    def put(self, spec: RunSpec, result: Any,
+            seconds: Optional[float] = None) -> None:
+        pkl, meta = self._paths(spec.key)
+        pkl.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(pkl, pickle.dumps(result, protocol=4))
+        sidecar = {
+            "spec": spec.canonical(),
+            "label": spec.label,
+            "created": time.time(),
+        }
+        if seconds is not None:
+            sidecar["seconds"] = seconds
+        import json
+        self._atomic_write(meta, json.dumps(sidecar, indent=1).encode())
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, payload: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+
+    # -- maintenance -----------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.pkl"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        return {"root": str(self.base), "format": FORMAT,
+                "entries": entries, "bytes": size}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = self.stats()["entries"]
+        if self.root.is_dir():
+            shutil.rmtree(self.root, ignore_errors=True)
+        return removed

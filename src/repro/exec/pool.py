@@ -1,0 +1,249 @@
+"""Worker-pool machinery: parallel map with timeout, retry, fallback.
+
+This module is deliberately generic — it maps a *picklable top-level
+function* over a list of payloads and returns one :class:`Outcome` per
+payload — so the policy layer (:mod:`repro.exec.service`) and the tests
+can drive it with arbitrary functions, not just simulation specs.
+
+Semantics:
+
+* every payload is attempted up to ``1 + retries`` times;
+* a payload whose attempt runs longer than ``timeout`` seconds (measured
+  from dispatch) is abandoned: the worker pool is torn down — the only
+  way to stop a stuck task under ``ProcessPoolExecutor`` — rebuilt, and
+  the remaining payloads are resubmitted.  Siblings lose in-flight work
+  but not attempts;
+* a broken pool (worker killed by the OOM killer, interpreter crash) is
+  rebuilt the same way and the in-flight payload charged one attempt;
+* :func:`run_serial` provides the exact same contract in-process for
+  environments where ``multiprocessing`` is unavailable or undesirable.
+"""
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+#: How often the dispatch loop wakes up to police timeouts (seconds).
+_POLL_SECONDS = 0.05
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class Outcome:
+    """Result of driving one payload to completion (or giving up)."""
+
+    index: int
+    status: str = STATUS_OK
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+def run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
+               retries: int = 0,
+               progress: Optional[Callable[[Outcome], None]] = None
+               ) -> List[Outcome]:
+    """In-process reference implementation of the pool contract."""
+    outcomes: List[Outcome] = []
+    for index, item in enumerate(items):
+        attempts = 0
+        started = time.monotonic()
+        while True:
+            attempts += 1
+            try:
+                value = fn(item)
+            except Exception:
+                if attempts <= retries:
+                    continue
+                outcome = Outcome(index, STATUS_ERROR, None,
+                                  traceback.format_exc(limit=8), attempts,
+                                  time.monotonic() - started)
+            else:
+                outcome = Outcome(index, STATUS_OK, value, None, attempts,
+                                  time.monotonic() - started)
+            break
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return outcomes
+
+
+class ParallelRunner:
+    """``ProcessPoolExecutor`` wrapper implementing the pool contract.
+
+    Construction eagerly creates the executor so that environments where
+    process pools cannot exist (no ``/dev/shm``, seccomp'd sandboxes)
+    fail *here*, letting the caller degrade to :func:`run_serial`.
+    """
+
+    def __init__(self, jobs: int, timeout: Optional[float] = None,
+                 retries: int = 1, mp_context: Optional[str] = "fork"):
+        if jobs < 2:
+            raise ValueError("ParallelRunner needs at least 2 jobs; "
+                             "use run_serial for jobs=1")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self._ctx = self._resolve_context(mp_context)
+        self._executor = self._make_executor()
+
+    @staticmethod
+    def _resolve_context(name: Optional[str]):
+        import multiprocessing
+        if name is None:
+            return None
+        try:
+            return multiprocessing.get_context(name)
+        except ValueError:
+            # Platform without this start method (e.g. no fork on
+            # Windows): let the executor pick its default.
+            return None
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        executor = ProcessPoolExecutor(max_workers=self.jobs,
+                                       mp_context=self._ctx)
+        # Fail eagerly if workers cannot be spawned at all: submit a
+        # no-op and wait for it, so the caller's serial fallback fires.
+        probe = executor.submit(_probe)
+        probe.result(timeout=60)
+        return executor
+
+    def _hard_restart(self) -> None:
+        """Tear down the executor (killing workers) and build a new one."""
+        executor, self._executor = self._executor, None
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+            # shutdown() does not stop tasks already running; terminate
+            # the worker processes so a wedged simulation cannot pin a
+            # CPU (private attribute, guarded — worst case the hung
+            # worker dies with the parent).
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                proc.terminate()
+        except Exception:
+            pass
+        self._executor = self._make_executor()
+
+    # -- the map ----------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            progress: Optional[Callable[[Outcome], None]] = None
+            ) -> List[Outcome]:
+        items = list(items)
+        outcomes: List[Outcome] = [None] * len(items)  # type: ignore
+        attempts = [0] * len(items)
+        first_dispatch = [0.0] * len(items)
+
+        def submit(index: int, charge: bool = True):
+            if charge:
+                attempts[index] += 1
+            if not first_dispatch[index]:
+                first_dispatch[index] = time.monotonic()
+            future = self._executor.submit(fn, items[index])
+            # Second slot: when the payload was first observed *running*
+            # (None while queued) — the per-run timeout clock.
+            pending[future] = [index, None]
+
+        def recover_broken() -> None:
+            # Rebuild the pool and resubmit every in-flight payload;
+            # none of them failed on their own merits, so no attempt is
+            # charged.
+            survivors = [index for (index, _) in pending.values()]
+            pending.clear()
+            self._hard_restart()
+            for index in survivors:
+                submit(index, charge=False)
+
+        def finish(index: int, status: str, value=None, error=None) -> None:
+            outcomes[index] = Outcome(
+                index, status, value, error, attempts[index],
+                time.monotonic() - first_dispatch[index])
+            if progress is not None:
+                progress(outcomes[index])
+
+        pending = {}
+        for index in range(len(items)):
+            submit(index)
+
+        while pending:
+            done, _ = wait(pending, timeout=_POLL_SECONDS,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                entry = pending.pop(future, None)
+                if entry is None:
+                    # Evicted by a recover/restart earlier in this very
+                    # batch; its payload was already resubmitted.
+                    continue
+                index = entry[0]
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    recover_broken()
+                    if attempts[index] <= self.retries:
+                        submit(index)
+                    else:
+                        finish(index, STATUS_ERROR,
+                               error="worker process pool broke")
+                except Exception:
+                    if attempts[index] <= self.retries:
+                        submit(index)
+                    else:
+                        finish(index, STATUS_ERROR,
+                               error=traceback.format_exc(limit=8))
+                else:
+                    finish(index, STATUS_OK, value=value)
+
+            if self.timeout is None or not pending:
+                continue
+            now = time.monotonic()
+            expired = []
+            for future, entry in pending.items():
+                if entry[1] is None:
+                    if future.running():
+                        entry[1] = now
+                elif now - entry[1] > self.timeout:
+                    expired.append((future, entry[0]))
+            if not expired:
+                continue
+            # Any expired task forces a pool restart; resubmit the
+            # survivors (no attempt charged) and retry or fail the
+            # expired ones.
+            expired_futures = {future for future, _ in expired}
+            survivor_indexes = [index for future, (index, _) in
+                                pending.items()
+                                if future not in expired_futures]
+            pending.clear()
+            self._hard_restart()
+            for index in survivor_indexes:
+                submit(index, charge=False)
+            for _, index in expired:
+                if attempts[index] <= self.retries:
+                    submit(index)
+                else:
+                    finish(index, STATUS_TIMEOUT,
+                           error=f"run exceeded {self.timeout:.1f}s "
+                                 f"timeout ({attempts[index]} attempt(s))")
+        return outcomes
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _probe() -> bool:
+    return True

@@ -10,26 +10,12 @@ shaped like the paper's figure, with paper-reported values alongside.
 import os
 from typing import Dict, Optional
 
-from repro.gpu.config import DEFAULT_CONFIG, GPUConfig
+from repro.exec import get_service, make_spec
+from repro.gpu.config import DEFAULT_CONFIG
 from repro.harness import paper
 from repro.harness.results import Table, geomean
-from repro.harness.runner import (
-    RunResult,
-    run_btree,
-    run_lumibench,
-    run_nbody,
-    run_rtnn,
-    run_wknd,
-    scaled_config_for,
-)
-from repro.workloads import (
-    LUMIBENCH_SUITE,
-    make_btree_workload,
-    make_lumibench_workload,
-    make_nbody_workload,
-    make_rtnn_workload,
-    make_wknd_workload,
-)
+from repro.harness.runner import RunResult
+from repro.workloads import LUMIBENCH_SUITE
 
 #: Per-scale workload parameters.  "small" keeps every figure's bench
 #: under a couple of minutes; "large" roughly quadruples the work.
@@ -64,10 +50,12 @@ SCALES: Dict[str, Dict] = {
 #: Cache geometry used for the ray-tracing workloads: procedural scenes
 #: are far smaller than LumiBench assets, so the caches shrink with them
 #: to keep node fetches memory-dominated (DESIGN.md §6).
-RT_CONFIG = DEFAULT_CONFIG.with_overrides(l1_size=512, l2_size=4096,
-                                          l2_assoc=8)
+RT_OVERRIDES = dict(l1_size=512, l2_size=4096, l2_assoc=8)
+RT_CONFIG = DEFAULT_CONFIG.with_overrides(**RT_OVERRIDES)
 
-_CACHE: Dict = {}
+#: Spec config policies matching the historical per-family defaults.
+_SCALED = {"policy": "scaled"}
+_RT_POLICY = {"policy": "default", "overrides": RT_OVERRIDES}
 
 
 def params(scale: Optional[str] = None) -> Dict:
@@ -77,64 +65,81 @@ def params(scale: Optional[str] = None) -> Dict:
     return SCALES[scale]
 
 
-def _cached(key, builder):
-    if key not in _CACHE:
-        _CACHE[key] = builder()
-    return _CACHE[key]
-
-
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop all in-memory memoization (run results and built workloads).
+
+    The on-disk result cache, when enabled, is *not* touched — use
+    ``python -m repro cache clear`` for that.
+    """
+    from repro.harness import runner
+    runner.clear_workload_cache()
+    get_service().clear_memory()
+
+
+def default_config_policy(kind: str) -> Optional[Dict]:
+    """The config policy each workload family's figures historically use."""
+    return {
+        "btree": dict(_SCALED),
+        "nbody": dict(_SCALED),
+        "rtnn": {"policy": "scaled", "pressure": 20.0},
+        "rtree": dict(_SCALED),
+        "knn": dict(_SCALED),
+        "wknd": dict(_RT_POLICY),
+        "lumi": dict(_RT_POLICY),
+    }[kind]
 
 
 # -- shared runs --------------------------------------------------------------------
+#
+# Each helper builds a declarative RunSpec and hands it to the global
+# execution service, which memoizes in-process, consults the on-disk
+# cache, and (under ``--jobs N``) executes missing points on the worker
+# pool.  The workload seeds are part of the spec, so the content
+# address covers everything that determines the simulation's outcome.
+
+def _run(kind: str, workload: Dict, platform: str, config=None,
+         **run_kwargs) -> RunResult:
+    spec = make_spec(kind, workload, platform,
+                     config=config if config is not None
+                     else default_config_policy(kind),
+                     run_kwargs=run_kwargs)
+    return get_service().run(spec)
+
+
 def _btree_run(variant: str, n_keys: int, n_queries: int, platform: str,
-               config: GPUConfig = None, **kw) -> RunResult:
-    wl = _cached(("btree", variant, n_keys, n_queries),
-                 lambda: make_btree_workload(variant, n_keys, n_queries,
-                                             seed=1))
-    cfg = config or scaled_config_for(wl.image.size_bytes)
-    return _cached(("btree_run", variant, n_keys, n_queries, platform,
-                    cfg, tuple(sorted(kw.items()))),
-                   lambda: run_btree(wl, platform, config=cfg, **kw))
+               config_overrides: Optional[Dict] = None,
+               **kw) -> RunResult:
+    config = default_config_policy("btree")
+    if config_overrides:
+        config["overrides"] = dict(config_overrides)
+    return _run("btree",
+                dict(variant=variant, n_keys=n_keys, n_queries=n_queries,
+                     seed=1),
+                platform, config=config, **kw)
 
 
 def _nbody_run(dims: int, n_bodies: int, platform: str,
                fused: int = 0) -> RunResult:
-    wl = _cached(("nbody", dims, n_bodies),
-                 lambda: make_nbody_workload(n_bodies, dims=dims, seed=2,
-                                             theta=0.6))
-    cfg = scaled_config_for(wl.image.size_bytes)
-    return _cached(("nbody_run", dims, n_bodies, platform, fused),
-                   lambda: run_nbody(wl, platform, config=cfg,
-                                     fused_post_insts=fused))
+    return _run("nbody", dict(n_bodies=n_bodies, dims=dims, seed=2,
+                              theta=0.6),
+                platform, fused_post_insts=fused)
 
 
 def _rtnn_run(n_points: int, n_queries: int, platform: str) -> RunResult:
-    wl = _cached(("rtnn", n_points, n_queries),
-                 lambda: make_rtnn_workload(n_points, n_queries, radius=1.0,
-                                            seed=3))
-    cfg = scaled_config_for(wl.image.size_bytes, pressure=20.0)
-    return _cached(("rtnn_run", n_points, n_queries, platform),
-                   lambda: run_rtnn(wl, platform, config=cfg))
+    return _run("rtnn", dict(n_points=n_points, n_queries=n_queries,
+                             radius=1.0, seed=3),
+                platform)
 
 
 def _wknd_run(platform: str, scale: Dict, **kw) -> RunResult:
     w = scale["wknd"]
-    wl = _cached(("wknd", w["res"], w["spheres"], w["bounces"]),
-                 lambda: make_wknd_workload(width=w["res"], height=w["res"],
-                                            n_spheres=w["spheres"],
-                                            bounces=w["bounces"]))
-    return _cached(("wknd_run", w["res"], w["spheres"], platform,
-                    tuple(sorted(kw.items()))),
-                   lambda: run_wknd(wl, platform, config=RT_CONFIG, **kw))
+    return _run("wknd", dict(width=w["res"], height=w["res"],
+                             n_spheres=w["spheres"], bounces=w["bounces"]),
+                platform, **kw)
 
 
 def _lumi_run(name: str, platform: str, res: int) -> RunResult:
-    wl = _cached(("lumi", name, res),
-                 lambda: make_lumibench_workload(name, width=res, height=res))
-    return _cached(("lumi_run", name, platform, res),
-                   lambda: run_lumibench(wl, platform, config=RT_CONFIG))
+    return _run("lumi", dict(name=name, width=res, height=res), platform)
 
 
 # -- Fig. 1: motivation -------------------------------------------------------------
@@ -281,26 +286,20 @@ def fig14_sensitivity(scale: Optional[str] = None) -> Table:
         ["variant", "knob", "value", "speedup_vs_gpu"],
     )
     for variant in ("btree", "bstar", "bplus"):
-        wl = _cached(("btree", variant, nk, nq),
-                     lambda v=variant: make_btree_workload(v, nk, nq, seed=1))
-        cfg0 = scaled_config_for(wl.image.size_bytes)
         base = _btree_run(variant, nk, nq, "gpu")
         for warps in (1, 2, 4, 8, 16):
-            cfg = cfg0.with_overrides(warp_buffer_warps=warps)
-            run = run_btree(wl, "tta", config=cfg, verify=False)
+            run = _btree_run(variant, nk, nq, "tta",
+                             config_overrides={"warp_buffer_warps": warps},
+                             verify=False)
             table.add_row(variant, "warp_buffer", warps,
                           run.speedup_over(base))
-        from repro.gpu import GPU
-        from repro.kernels.btree_search import btree_accel_kernel
-        from repro.rta.rta import make_rta_factory
         for latency, label in ((3, "minmax-only(3cy)"), (13, "default(13cy)"),
                                (130, "10x(130cy)")):
-            gpu = GPU(cfg0, accelerator_factory=make_rta_factory(
-                tta=True, latency_overrides={"query_key": latency}))
-            args = wl.kernel_args(jobs=wl.jobs("tta"))
-            stats = gpu.launch(btree_accel_kernel, wl.n_queries, args=args)
+            run = _btree_run(variant, nk, nq, "tta",
+                             tta_latency_overrides={"query_key": latency},
+                             verify=False)
             table.add_row(variant, "isect_latency", label,
-                          base.cycles / stats.cycles)
+                          base.cycles / run.cycles)
     return table
 
 

@@ -2,15 +2,32 @@
 
 import csv
 import io
+import json
 import math
+import warnings
 from typing import Iterable, List, Sequence
 
 
-def geomean(values: Iterable[float]) -> float:
-    values = [v for v in values if v > 0]
-    if not values:
+def geomean(values: Iterable[float], strict: bool = False) -> float:
+    """Geometric mean of the positive entries of ``values``.
+
+    Non-positive (or NaN) entries cannot enter a geometric mean; they
+    are dropped, but never silently: a zero-cycle bug upstream must not
+    masquerade as a clean speedup summary.  Dropping emits a
+    ``RuntimeWarning``; under ``strict=True`` it raises instead.
+    """
+    values = list(values)
+    kept = [v for v in values if v > 0]
+    if len(kept) != len(values):
+        dropped = len(values) - len(kept)
+        message = (f"geomean: dropped {dropped} non-positive value(s) "
+                   f"out of {len(values)}")
+        if strict:
+            raise ValueError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+    if not kept:
         return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(sum(math.log(v) for v in kept) / len(kept))
 
 
 class Table:
@@ -55,11 +72,26 @@ class Table:
         return "\n".join(out)
 
     def to_csv(self) -> str:
+        # Cells are written raw (``str(float)`` is shortest-repr in
+        # Python 3), NOT through the lossy ``_fmt`` display formatting:
+        # ``float(cell)`` round-trips bit-exactly.
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(self.headers)
         writer.writerows(self.rows)
         return buf.getvalue()
+
+    def to_json(self) -> str:
+        """Machine-readable dump with full float precision.
+
+        NaN cells are emitted as JSON ``NaN`` literals (the Python
+        ``json`` dialect), which ``json.loads`` reads back unchanged.
+        """
+        return json.dumps(
+            {"title": self.title, "headers": self.headers,
+             "rows": self.rows},
+            indent=1,
+        )
 
     def column(self, header: str) -> List:
         idx = self.headers.index(header)

@@ -94,18 +94,27 @@ def scaled_config_for(data_bytes: int,
 # -- B-Tree family -------------------------------------------------------------------
 def run_btree(workload: BTreeWorkload, platform: str,
               config: Optional[GPUConfig] = None,
-              verify: bool = True) -> RunResult:
+              verify: bool = True,
+              tta_latency_overrides: Optional[Dict[str, int]] = None
+              ) -> RunResult:
+    """``tta_latency_overrides`` adjusts fixed-function intersection
+    latencies on the ``tta`` platform (Fig. 14's sensitivity knob)."""
     config = config if config is not None else scaled_config_for(
         workload.image.size_bytes)
     name = f"{workload.variant}/{workload.n_queries}q"
+    if tta_latency_overrides and platform != "tta":
+        raise ConfigurationError(
+            "tta_latency_overrides only applies to the tta platform"
+        )
     if platform == "gpu":
         gpu = GPU(config)
         args = workload.kernel_args()
         stats = gpu.launch(btree_baseline_kernel, workload.n_queries,
                            args=args)
     elif platform in ("tta", "ttaplus"):
-        factory = (make_rta_factory(tta=True) if platform == "tta"
-                   else make_ttaplus_factory())
+        factory = (make_rta_factory(
+                       tta=True, latency_overrides=tta_latency_overrides)
+                   if platform == "tta" else make_ttaplus_factory())
         gpu = GPU(config, accelerator_factory=factory)
         args = workload.kernel_args(jobs=workload.jobs(platform))
         stats = gpu.launch(btree_accel_kernel, workload.n_queries, args=args)
@@ -342,3 +351,111 @@ def run_wknd(workload: WKNDWorkload, platform: str,
     return RunResult(name, platform, stats, energy_report(stats, config),
                      notes={"perfect_node_fetch": perfect_node_fetch,
                             "perfect_mem": perfect_mem})
+
+
+# -- spec execution (repro.exec worker entry point) -----------------------------------
+#
+# The execution service ships :class:`repro.exec.spec.RunSpec` objects
+# — pure data — to worker processes; this section turns a spec back
+# into (workload, config, runner call).  Workload construction is
+# memoized per process so a worker executing several points of the same
+# sweep builds each tree once, mirroring the old in-process cache in
+# ``harness.experiments``.
+
+def _workload_factories() -> Dict[str, Any]:
+    from repro.workloads import (
+        make_btree_workload,
+        make_knn_workload,
+        make_lumibench_workload,
+        make_nbody_workload,
+        make_rtnn_workload,
+        make_rtree_workload,
+        make_wknd_workload,
+    )
+
+    return {
+        "btree": make_btree_workload,
+        "nbody": make_nbody_workload,
+        "rtnn": make_rtnn_workload,
+        "wknd": make_wknd_workload,
+        "lumi": make_lumibench_workload,
+        "rtree": make_rtree_workload,
+        "knn": make_knn_workload,
+    }
+
+
+_SPEC_RUNNERS: Dict[str, Any] = {}
+_WORKLOAD_CACHE: Dict[Any, Any] = {}
+
+
+def build_workload(kind: str, params: Dict[str, Any]):
+    """Construct (or reuse) the workload a spec describes."""
+    factories = _workload_factories()
+    if kind not in factories:
+        raise ConfigurationError(
+            f"no workload factory for kind {kind!r}; "
+            f"known: {sorted(factories)}"
+        )
+    key = (kind, tuple(sorted(params.items())))
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = factories[kind](**params)
+    return _WORKLOAD_CACHE[key]
+
+
+def clear_workload_cache() -> None:
+    _WORKLOAD_CACHE.clear()
+
+
+def resolve_config(policy: Optional[Dict[str, Any]],
+                   workload) -> Optional[GPUConfig]:
+    """Turn a spec's config *policy* into a concrete :class:`GPUConfig`.
+
+    ``None`` defers to the runner's own default (the scaled policy for
+    the CUDA workloads, ``DEFAULT_CONFIG`` for ray tracing).  Policies
+    are resolved here — next to the built workload — because the scaled
+    policy depends on the workload's memory footprint.
+    """
+    if policy is None:
+        return None
+    policy = dict(policy)
+    name = policy.pop("policy", "scaled")
+    overrides = policy.pop("overrides", None) or {}
+    if name == "scaled":
+        pressure = policy.pop("pressure", 10.0)
+        config = scaled_config_for(workload.image.size_bytes,
+                                   pressure=pressure)
+    elif name == "default":
+        config = DEFAULT_CONFIG
+    else:
+        raise ConfigurationError(
+            f"unknown config policy {name!r} (scaled/default)"
+        )
+    if policy:
+        raise ConfigurationError(
+            f"unrecognized config policy fields: {sorted(policy)}"
+        )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def execute_spec(spec) -> RunResult:
+    """Execute one :class:`repro.exec.spec.RunSpec` end to end.
+
+    This is the function worker processes run.  Verification against
+    golden references happens inside the ``run_*`` runner exactly as on
+    the serial path — a parallel run can never return an unverified
+    data point.
+    """
+    if not _SPEC_RUNNERS:
+        _SPEC_RUNNERS.update({
+            "btree": run_btree,
+            "nbody": run_nbody,
+            "rtnn": run_rtnn,
+            "wknd": run_wknd,
+            "lumi": run_lumibench,
+            "rtree": run_rtree,
+            "knn": run_knn,
+        })
+    workload = build_workload(spec.kind, spec.workload)
+    config = resolve_config(spec.config, workload)
+    return _SPEC_RUNNERS[spec.kind](workload, spec.platform, config=config,
+                                    **spec.run_kwargs)

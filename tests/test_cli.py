@@ -1,8 +1,27 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import EXPERIMENTS, build_parser, cmd_list, cmd_run, main
+import repro.exec as exec_mod
+from repro.__main__ import (
+    EXPERIMENTS,
+    build_parser,
+    cmd_list,
+    cmd_run,
+    main,
+)
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_exec(tmp_path, monkeypatch):
+    """Point the CLI's disk cache at a temp dir and isolate the global
+    service, so CLI tests neither read nor pollute ``~/.cache``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    exec_mod.reset()
+    yield
+    exec_mod.reset()
 
 
 class TestParser:
@@ -16,10 +35,34 @@ class TestParser:
              "--csv-dir", str(tmp_path)])
         assert args.experiments == ["fig13", "fig12"]
         assert args.scale == "smoke"
+        assert args.jobs == 1 and not args.no_cache and not args.json
 
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig13", "--scale", "huge"])
+
+    def test_scale_default_honors_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "large")
+        args = build_parser().parse_args(["run", "fig13"])
+        assert args.scale == "large"
+        monkeypatch.delenv("REPRO_SCALE")
+        args = build_parser().parse_args(["run", "fig13"])
+        assert args.scale == "small"
+
+    def test_exec_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig12", "--jobs", "4", "--no-cache",
+             "--timeout", "30"])
+        assert args.jobs == 4 and args.no_cache and args.timeout == 30.0
+
+    def test_sweep_and_cache_commands_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "btree", "--param", "n_keys=1024,2048",
+             "--platforms", "gpu,tta", "--jobs", "2"])
+        assert args.command == "sweep" and args.kind == "btree"
+        assert args.param == ["n_keys=1024,2048"]
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.command == "cache" and args.action == "stats"
 
 
 class TestCommands:
@@ -41,9 +84,58 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Fig. 13" in out
+        assert "[exec] total=" in out
         csv = (tmp_path / "fig13.csv").read_text()
         assert csv.startswith("workload,")
         experiments.clear_cache()
+
+    def test_second_run_resolves_from_cache(self, capsys):
+        assert main(["run", "fig13", "--scale", "smoke", "--jobs", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "executed=0" not in first
+        assert main(["run", "fig13", "--scale", "smoke", "--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "executed=0" in second
+
+    def test_json_output_round_trips_floats(self, tmp_path, capsys):
+        code = main(["run", "fig13", "--scale", "smoke", "--json",
+                     "--json-dir", str(tmp_path)])
+        assert code == 0
+        data = json.loads((tmp_path / "fig13.json").read_text())
+        assert data["headers"][0] == "workload"
+        # Full float precision: values are raw reprs, not %.3g strings.
+        floats = [c for row in data["rows"] for c in row
+                  if isinstance(c, float) and c == c and c != 0]
+        assert any(len(repr(f)) > 6 for f in floats)
+        # stdout must be pure JSON (pipeable into jq); the [exec]
+        # manifest/timing chatter goes to stderr under --json.
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == data
+        assert "[exec]" in captured.err
+
+    def test_cache_stats_and_clear(self, capsys):
+        assert main(["run", "fig13", "--scale", "smoke"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "entries:    0" not in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+    def test_sweep_runs_and_reports(self, capsys):
+        code = main(["sweep", "btree", "--param", "n_keys=256,512",
+                     "--param", "n_queries=64", "--platforms", "gpu,tta"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep — btree" in out
+        assert out.count("n_keys=256") == 2  # one row per platform
+        assert "[exec] total=4" in out
+
+    def test_sweep_rejects_bad_platform(self, capsys):
+        assert main(["sweep", "wknd", "--platforms", "gpu"]) == 2
+        assert "invalid platform" in capsys.readouterr().err
 
     def test_all_expands(self):
         # 'all' must expand to exactly the registered experiments.

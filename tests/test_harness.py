@@ -29,6 +29,20 @@ class TestTable:
         assert lines[0] == "a,b"
         assert lines[1:] == ["x,1", "y,2"]
 
+    def test_csv_and_json_round_trip_floats_exactly(self):
+        # Export paths must not inherit format()'s lossy %.3g display.
+        import csv as csv_mod
+        import io
+        import json
+        value = 1.0 / 3.0
+        t = Table("t", ["name", "value", "nan"])
+        t.add_row("x", value, float("nan"))
+        row = next(iter(csv_mod.reader(io.StringIO(t.to_csv().splitlines()[1]))))
+        assert float(row[1]) == value
+        data = json.loads(t.to_json())
+        assert data["rows"][0][1] == value
+        assert data["rows"][0][2] != data["rows"][0][2]  # NaN survives
+
     def test_column_extraction(self):
         t = Table("t", ["a", "b"])
         t.add_row("x", 1)
@@ -43,9 +57,15 @@ class TestGeomean:
         assert geomean([2, 8]) == pytest.approx(4.0)
         assert geomean([3]) == pytest.approx(3.0)
 
-    def test_ignores_nonpositive(self):
-        assert geomean([2, 8, 0, -1]) == pytest.approx(4.0)
-        assert geomean([]) == 0.0
+    def test_nonpositive_dropped_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geomean([2, 8, 0, -1]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0  # empty input is not a drop: no warning
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([2, 8, 0], strict=True)
+        assert geomean([2, 8], strict=True) == pytest.approx(4.0)
 
 
 class TestScaledConfig:
