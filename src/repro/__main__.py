@@ -97,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload scale (default: $REPRO_SCALE or small)")
     run.add_argument("--plot", action="store_true",
                      help="render ASCII bar charts after each table")
+    run.add_argument("--profile", action="store_true",
+                     help="run each experiment under cProfile and print "
+                          "the top-25 cumulative-time entries (profiles "
+                          "this process: use with --jobs 1)")
     _add_output_options(run)
     _add_exec_options(run)
 
@@ -169,7 +173,8 @@ def _emit_table(name: str, table, *, json_out: bool, csv_dir, json_dir,
 
 def cmd_run(names, scale: str, csv_dir, plot: bool = False,
             jobs: int = 1, no_cache: bool = False, timeout=None,
-            json_dir=None, json_out: bool = False) -> int:
+            json_dir=None, json_out: bool = False,
+            profile: bool = False) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -180,12 +185,26 @@ def cmd_run(names, scale: str, csv_dir, plot: bool = False,
     service = _configure_service(jobs, no_cache, timeout)
     for name in names:
         started = time.time()
-        table = service.run_figure(EXPERIMENTS[name], scale)
+        if profile:
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
+            table = service.run_figure(EXPERIMENTS[name], scale)
+            profiler.disable()
+        else:
+            table = service.run_figure(EXPERIMENTS[name], scale)
         _emit_table(name, table, json_out=json_out, csv_dir=csv_dir,
                     json_dir=json_dir, plot=plot)
         # With --json, stdout must stay parseable (repro run fig --json | jq):
         # route the manifest/timing chatter to stderr.
         chatter = sys.stderr if json_out else sys.stdout
+        if profile:
+            import io
+            import pstats
+            stream = io.StringIO()
+            pstats.Stats(profiler, stream=stream) \
+                .sort_stats("cumulative").print_stats(25)
+            print(stream.getvalue(), file=chatter)
         print(service.manifest.summary(), file=chatter)
         print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]",
               file=chatter)
@@ -303,7 +322,8 @@ def main(argv=None) -> int:
     return cmd_run(args.experiments, args.scale, args.csv_dir,
                    plot=getattr(args, "plot", False), jobs=args.jobs,
                    no_cache=args.no_cache, timeout=args.timeout,
-                   json_dir=args.json_dir, json_out=args.json)
+                   json_dir=args.json_dir, json_out=args.json,
+                   profile=getattr(args, "profile", False))
 
 
 if __name__ == "__main__":

@@ -17,7 +17,31 @@ from repro.core.ttaplus.interconnect import Crossbar
 from repro.core.ttaplus.opunits import OP_UNIT_LATENCIES, OpUnitBank
 from repro.core.ttaplus.programs import PROGRAMS, program_named
 from repro.gpu.config import GPUConfig
+from repro.sim.engine import ceil_cycles
 from repro.sim.stats import LatencySampler
+
+
+class _Chain:
+    """In-flight state of one step's µop tests (batched driver path).
+
+    ``pos`` walks the step's run list: ``pos < len(runs)`` is the next
+    same-unit run to route+issue, ``pos == len(runs)`` is the writeback
+    hand-off, ``pos == len(runs) + 1`` finalizes the test (sample
+    latency, start the next test or finish the chain).
+    """
+
+    __slots__ = ("name", "runs", "pos", "pc", "tests_left", "begin",
+                 "pending", "sampler")
+
+    def __init__(self, name, runs, count, sampler):
+        self.name = name
+        self.runs = runs
+        self.pos = 0
+        self.pc = 0
+        self.tests_left = count
+        self.begin = None
+        self.pending = []
+        self.sampler = sampler
 
 
 class TTAPlusBackend:
@@ -44,6 +68,7 @@ class TTAPlusBackend:
             self.dest_table.load_program(name, program)
         self.test_latency: Dict[str, LatencySampler] = {}
         self.tests_run = 0
+        self._runs_cache: Dict[str, list] = {}
 
     # -- execution ------------------------------------------------------------------
     def execute(self, now: float, op: str, count: int):
@@ -54,10 +79,9 @@ class TTAPlusBackend:
         contention from concurrent traversals is reflected in the result.
         """
         name = self._program_name(op)
-        program = program_named(name)
         sampler = self.test_latency.setdefault(name, LatencySampler())
         sim = self.sim
-        runs = self._runs(program)
+        runs = self._runs_for(name)
         for _ in range(count):
             begin = sim.now
             pc = 0
@@ -75,7 +99,7 @@ class TTAPlusBackend:
                 pc += n
                 arrival = self.crossbar.route(sim.now, unit_type)
                 if arrival > sim.now:
-                    yield arrival - sim.now
+                    yield ceil_cycles(arrival - sim.now)
                 last_done = sim.now
                 issued = []
                 for _i in range(n):
@@ -83,15 +107,87 @@ class TTAPlusBackend:
                     issued.append((unit, done))
                     last_done = max(last_done, done)
                 if last_done > sim.now:
-                    yield last_done - sim.now
+                    yield ceil_cycles(last_done - sim.now)
                 for unit, _done in issued:
                     unit.complete(sim.now)
             # Final writeback hand-off to the buffers / warp registers.
             writeback = self.crossbar.route(sim.now, "writeback")
             if writeback > sim.now:
-                yield writeback - sim.now
+                yield ceil_cycles(writeback - sim.now)
             sampler.sample(sim.now - begin)
             self.tests_run += 1
+
+    # -- batched-stepping interface (fast job driver) ----------------------
+    def begin_chain(self, op: str, count: int) -> _Chain:
+        """Start ``count`` back-to-back tests of µop program ``op``.
+
+        Drive the returned chain with :meth:`advance_chain`; together they
+        replay :meth:`execute`'s resource acquisitions with one event per
+        *stage* (route + issue a whole same-unit run) instead of one
+        process resume per yield.
+        """
+        name = self._program_name(op)
+        sampler = self.test_latency.setdefault(name, LatencySampler())
+        return _Chain(name, self._runs_for(name), count, sampler)
+
+    def advance_chain(self, chain: _Chain, now):
+        """Advance ``chain`` at time ``now``.
+
+        Returns the absolute (possibly fractional) time of the next
+        wake-up, or ``None`` once all tests have completed at ``now``.
+        The first call may pass the fetch-ready float time; ops issue at
+        their analytic arrival exactly as the generator path does.
+        """
+        pending = chain.pending
+        if pending:
+            for unit in pending:
+                unit.complete(now)
+            del pending[:]
+        if chain.begin is None:
+            chain.begin = now
+        runs = chain.runs
+        n_runs = len(runs)
+        route = self.crossbar.route
+        bank_issue = self.bank.issue
+        while True:
+            pos = chain.pos
+            if pos < n_runs:
+                unit_type, n = runs[pos]
+                self.dest_table.next_port(chain.name, chain.pc)
+                chain.pc += n
+                chain.pos = pos + 1
+                arrival = route(now, unit_type)
+                last_done = arrival
+                for _ in range(n):
+                    unit, _start, done = bank_issue(unit_type, arrival)
+                    pending.append(unit)
+                    if done > last_done:
+                        last_done = done
+                if last_done > now:
+                    return last_done
+                for unit in pending:  # zero-latency edge (perfect studies)
+                    unit.complete(now)
+                del pending[:]
+            elif pos == n_runs:
+                writeback = route(now, "writeback")
+                chain.pos = pos + 1
+                if writeback > now:
+                    return writeback
+            else:
+                chain.sampler.sample(now - chain.begin)
+                self.tests_run += 1
+                chain.tests_left -= 1
+                if chain.tests_left == 0:
+                    return None
+                chain.begin = now
+                chain.pos = 0
+                chain.pc = 0
+
+    def _runs_for(self, name: str) -> list:
+        runs = self._runs_cache.get(name)
+        if runs is None:
+            runs = self._runs_cache[name] = self._runs(program_named(name))
+        return runs
 
     @staticmethod
     def _runs(program):

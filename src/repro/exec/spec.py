@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional
 
 from repro import __version__
 from repro.errors import ConfigurationError
+from repro.sim import scheduler_fingerprint
 
 #: Bump when the meaning of a spec field changes: old cache entries
 #: must not satisfy new specs.
@@ -50,9 +51,12 @@ def code_fingerprint() -> str:
 
     A new repro release (or spec-schema bump) invalidates the cache
     wholesale — the engine is deterministic *per version*, not across
-    arbitrary code changes.
+    arbitrary code changes.  The scheduler fingerprint (engine-source
+    hash plus the selected core, fast vs legacy) is folded in as well:
+    results produced by different scheduler models must never satisfy
+    each other's specs, even within one release.
     """
-    return f"{__version__}+schema{SPEC_SCHEMA}"
+    return f"{__version__}+schema{SPEC_SCHEMA}+sim{scheduler_fingerprint()}"
 
 
 def _check_jsonable(name: str, value: Any) -> None:

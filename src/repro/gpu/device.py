@@ -5,10 +5,11 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.gpu.config import DEFAULT_CONFIG, GPUConfig
+from repro.gpu.replay import warp_trace
 from repro.gpu.sm import SM
 from repro.gpu.warp import Warp
 from repro.memsys.hierarchy import MemoryHierarchy
-from repro.sim.engine import Simulator
+from repro.sim import make_simulator
 from repro.sim.stats import Counter
 
 KernelFn = Callable[[int, Any], Generator]
@@ -101,7 +102,7 @@ class GPU:
         if n_threads <= 0:
             raise ConfigurationError("kernel needs at least one thread")
         cfg = self.config
-        sim = Simulator()
+        sim = make_simulator()  # fast core, or $REPRO_SIM_CORE=legacy
         hierarchy = MemoryHierarchy(sim, cfg)
         stats = KernelStats()
         sms: List[SM] = [
@@ -109,12 +110,26 @@ class GPU:
             for i in range(cfg.n_sms)
         ]
 
+        # Value-independent kernels over a workload that carries a stream
+        # cache are replayed from recorded warp traces (see gpu/replay.py);
+        # the op-group sequence — and therefore every cycle and statistic
+        # — is identical to running the generators.
+        stream_cache = (getattr(args, "stream_cache", None)
+                        if getattr(kernel, "value_independent", False)
+                        else None)
         n_warps = math.ceil(n_threads / cfg.warp_size)
         for warp_id in range(n_warps):
             first = warp_id * cfg.warp_size
             thread_ids = range(first, min(first + cfg.warp_size, n_threads))
-            threads = [kernel(tid, args) for tid in thread_ids]
-            sms[warp_id % cfg.n_sms].add_warp(Warp(warp_id, threads))
+            if stream_cache is not None:
+                trace = warp_trace(kernel, thread_ids, args, stream_cache,
+                                   cfg.sector_size)
+                for tid, value in trace.writes:
+                    args.results[tid] = value
+                sms[warp_id % cfg.n_sms].add_warp(trace)
+            else:
+                threads = [kernel(tid, args) for tid in thread_ids]
+                sms[warp_id % cfg.n_sms].add_warp(Warp(warp_id, threads))
 
         for sm in sms:
             sm.start()

@@ -4,23 +4,31 @@ Scheduling is greedy-then-oldest in effect: a warp that acquires the
 issue port keeps it for its whole compute block (greedy), and blocked
 warps re-arbitrate in FIFO order (oldest).  Warps beyond the residency
 limit (Table II: 32/SM) launch in waves as slots free up.
+
+The warp loop is the hot path of every baseline-GPU run: op dispatch is
+by exact class (kernels yield the four ISA descriptor types directly)
+and analytic completion times are quantized to whole cycles with
+:func:`~repro.sim.engine.ceil_cycles` before being yielded, so the
+engine's integer clock never sees fractional waits.
 """
 
 from typing import List
 
+from repro.errors import SimulationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.isa import AccelCall, Compute, Load, Store
+from repro.gpu.replay import WarpTrace
 from repro.gpu.warp import Warp
 from repro.memsys.coalescer import coalesce_sectors
 from repro.memsys.hierarchy import MemoryHierarchy
-from repro.sim.engine import Simulator
+from repro.sim.engine import ceil_cycles
 from repro.sim.resources import Timeline
 
 
 class SM:
     """One streaming multiprocessor with an optional attached accelerator."""
 
-    def __init__(self, sim: Simulator, sm_id: int, config: GPUConfig,
+    def __init__(self, sim, sm_id: int, config: GPUConfig,
                  hierarchy: MemoryHierarchy, stats,
                  accelerator_factory=None):
         self.sim = sim
@@ -49,74 +57,159 @@ class SM:
         """One residency slot: runs queued warps back to back."""
         while self.warp_queue:
             warp = self.warp_queue.pop(0)
-            yield from self._run_warp(warp)
+            if warp.__class__ is WarpTrace:
+                yield from self._run_trace(warp)
+            else:
+                yield from self._run_warp(warp)
             self._done_count += 1
+
+    # -- traced execution -----------------------------------------------------
+    def _run_trace(self, trace: WarpTrace):
+        """Time a precomputed warp trace (see :mod:`repro.gpu.replay`).
+
+        Mirrors :meth:`_run_warp` op for op — same resource acquisitions
+        in the same order, same statistics calls — but over macro steps
+        whose regrouping and coalescing were done once at record time.
+        """
+        sim = self.sim
+        cfg = self.config
+        stats = self.stats
+        warp_size = cfg.warp_size
+        issue_width = cfg.issue_width
+        sector_size = cfg.sector_size
+        sectors_per_cycle = cfg.ldst_sectors_per_cycle
+        issue_acquire = self.issue_port.acquire
+        ldst_acquire = self.ldst.acquire
+        access_sectors = self.hierarchy.access_sectors
+        dram_transfer = self.hierarchy.dram.transfer
+        l1 = self.l1
+        count_compute = stats.count_compute
+        count_mem = stats.count_mem
+        simt_issue = stats.simt_issue
+        for step in trace.steps:
+            code = step[0]
+            if code == 0:  # Compute group
+                _, active, n, kind, first_n = step
+                service = n / issue_width
+                start = issue_acquire(sim.now, service)
+                wait = ceil_cycles(start + service - sim.now)
+                if wait > 0:
+                    yield wait
+                count_compute(kind, n, active, warp_size)
+                simt_issue(active, warp_size, first_n)
+            elif code == 1:  # Load group (sectors pre-coalesced)
+                _, active, sectors = step
+                start = issue_acquire(sim.now, 1)
+                service = len(sectors) / sectors_per_cycle
+                ldst_start = ldst_acquire(max(sim.now, start + 1), service)
+                ready = access_sectors(ldst_start + service, l1, sectors)
+                count_mem(active, warp_size, len(sectors), hit_l1=False)
+                wait = ceil_cycles(ready - sim.now)
+                if wait > 0:
+                    yield wait
+                simt_issue(active, warp_size, 1)
+            else:  # Store group
+                _, active, n_sectors = step
+                start = issue_acquire(sim.now, 1)
+                ldst_acquire(max(sim.now, start + 1),
+                             n_sectors / sectors_per_cycle)
+                dram_transfer(sim.now, n_sectors * sector_size)
+                count_mem(active, warp_size, n_sectors, hit_l1=False)
+                wait = ceil_cycles(start + 1 - sim.now)
+                if wait > 0:
+                    yield wait
+                simt_issue(active, warp_size, 1)
 
     # -- warp execution ------------------------------------------------------
     def _run_warp(self, warp: Warp):
         sim = self.sim
         cfg = self.config
+        stats = self.stats
+        warp_size = cfg.warp_size
+        issue_width = cfg.issue_width
+        sector_size = cfg.sector_size
+        sectors_per_cycle = cfg.ldst_sectors_per_cycle
+        issue_acquire = self.issue_port.acquire
+        ldst_acquire = self.ldst.acquire
+        access_sectors = self.hierarchy.access_sectors
+        dram_transfer = self.hierarchy.dram.transfer
+        l1 = self.l1
+        pending = warp.pending
         warp.prime()
-        while warp.alive:
-            groups = warp.live_groups()
-            tag = min(groups)
-            tids = groups[tag]
-            op = warp.pending[tids[0]]
+        while True:
+            group = warp.min_group()
+            if group is None:
+                break
+            tids = group[1]
+            op = pending[tids[0]]
             active = len(tids)
-            results = {}
+            results = None
+            cls = op.__class__
 
-            if isinstance(op, Compute):
-                n = max(warp.pending[t].n for t in tids)
-                start = self.issue_port.acquire(sim.now, n / cfg.issue_width)
-                wait = start + n / cfg.issue_width - sim.now
+            if cls is Compute:
+                n = op.n
+                if active > 1:
+                    for tid in tids:
+                        m = pending[tid].n
+                        if m > n:
+                            n = m
+                service = n / issue_width
+                start = issue_acquire(sim.now, service)
+                wait = ceil_cycles(start + service - sim.now)
                 if wait > 0:
                     yield wait
-                self.stats.count_compute(op.kind, n, active, cfg.warp_size)
+                stats.count_compute(op.kind, n, active, warp_size)
+                stats.simt_issue(active, warp_size, op.n)
 
-            elif isinstance(op, Load):
-                start = self.issue_port.acquire(sim.now, 1)
-                requests = [(warp.pending[t].addr, warp.pending[t].size)
-                            for t in tids]
-                sectors = coalesce_sectors(requests, cfg.sector_size)
-                ldst_start = self.ldst.acquire(
-                    max(sim.now, start + 1),
-                    len(sectors) / cfg.ldst_sectors_per_cycle)
-                ready = self.hierarchy.access_sectors(
-                    ldst_start + len(sectors) / cfg.ldst_sectors_per_cycle,
-                    self.l1, sectors)
-                self.stats.count_mem(active, cfg.warp_size, len(sectors),
-                                     hit_l1=False)
-                wait = ready - sim.now
+            elif cls is Load:
+                start = issue_acquire(sim.now, 1)
+                requests = [(pending[tid].addr, pending[tid].size)
+                            for tid in tids]
+                sectors = coalesce_sectors(requests, sector_size)
+                service = len(sectors) / sectors_per_cycle
+                ldst_start = ldst_acquire(max(sim.now, start + 1), service)
+                ready = access_sectors(ldst_start + service, l1, sectors)
+                stats.count_mem(active, warp_size, len(sectors),
+                                hit_l1=False)
+                wait = ceil_cycles(ready - sim.now)
                 if wait > 0:
                     yield wait  # in-order: block until the slowest lane's data
+                stats.simt_issue(active, warp_size, 1)
 
-            elif isinstance(op, Store):
-                start = self.issue_port.acquire(sim.now, 1)
-                requests = [(warp.pending[t].addr, warp.pending[t].size)
-                            for t in tids]
-                sectors = coalesce_sectors(requests, cfg.sector_size)
-                self.ldst.acquire(max(sim.now, start + 1),
-                                  len(sectors) / cfg.ldst_sectors_per_cycle)
+            elif cls is Store:
+                start = issue_acquire(sim.now, 1)
+                requests = [(pending[tid].addr, pending[tid].size)
+                            for tid in tids]
+                sectors = coalesce_sectors(requests, sector_size)
+                ldst_acquire(max(sim.now, start + 1),
+                             len(sectors) / sectors_per_cycle)
                 # Write-through, fire-and-forget: charge DRAM bandwidth only.
-                self.hierarchy.dram.transfer(sim.now, len(sectors)
-                                             * cfg.sector_size)
-                self.stats.count_mem(active, cfg.warp_size, len(sectors),
-                                     hit_l1=False)
-                wait = start + 1 - sim.now
+                dram_transfer(sim.now, len(sectors) * sector_size)
+                stats.count_mem(active, warp_size, len(sectors),
+                                hit_l1=False)
+                wait = ceil_cycles(start + 1 - sim.now)
                 if wait > 0:
                     yield wait
+                stats.simt_issue(active, warp_size, 1)
 
-            elif isinstance(op, AccelCall):
-                start = self.issue_port.acquire(sim.now, 1)
-                wait = start + 1 - sim.now
+            elif cls is AccelCall:
+                start = issue_acquire(sim.now, 1)
+                wait = ceil_cycles(start + 1 - sim.now)
                 if wait > 0:
                     yield wait
-                payloads = [warp.pending[t].payload for t in tids]
+                payloads = [pending[tid].payload for tid in tids]
                 signal = self.accelerator.submit(sim.now, payloads)
                 per_query = yield signal
-                results = {t: per_query[i] for i, t in enumerate(tids)}
-                self.stats.count_accel(active, cfg.warp_size)
+                results = {tid: per_query[i] for i, tid in enumerate(tids)}
+                stats.count_accel(active, warp_size)
+                stats.simt_issue(active, warp_size, 1)
 
-            self.stats.simt_issue(active, cfg.warp_size,
-                                  op.n if isinstance(op, Compute) else 1)
+            else:
+                # Warp._advance validated the op, so only an exotic
+                # subclass of an ISA type can land here.
+                raise SimulationError(
+                    f"unhandled op descriptor {op!r} (subclassing the ISA "
+                    "types is not supported by the fast dispatch)"
+                )
+
             warp.step(tids, results)

@@ -5,26 +5,35 @@ from typing import Any, Generator, List, Optional, Sequence
 from repro.errors import SimulationError
 from repro.gpu.isa import OP_TYPES
 
+#: Exact-type set for the hot-path validity check (set membership beats
+#: an isinstance chain at ~hundreds of thousands of ops per launch).
+_OP_CLASSES = frozenset(OP_TYPES)
+
 
 class Warp:
     """Up to ``warp_size`` thread generators plus their pending ops."""
+
+    __slots__ = ("warp_id", "threads", "pending", "_sends")
 
     def __init__(self, warp_id: int, threads: Sequence[Generator]):
         self.warp_id = warp_id
         self.threads: List[Generator] = list(threads)
         self.pending: List[Optional[Any]] = [None] * len(self.threads)
+        self._sends = [thread.send for thread in self.threads]
 
     def prime(self) -> None:
         """Advance every thread to its first op."""
+        advance = self._advance
+        pending = self.pending
         for tid in range(len(self.threads)):
-            self.pending[tid] = self._advance(tid, None)
+            pending[tid] = advance(tid, None)
 
     def _advance(self, tid: int, value: Any):
         try:
-            op = self.threads[tid].send(value)
+            op = self._sends[tid](value)
         except StopIteration:
             return None
-        if not isinstance(op, OP_TYPES):
+        if op.__class__ not in _OP_CLASSES and not isinstance(op, OP_TYPES):
             raise SimulationError(
                 f"thread yielded {op!r}; kernels must yield ISA descriptors"
             )
@@ -38,10 +47,39 @@ class Warp:
                 groups.setdefault(op.tag, []).append(tid)
         return groups
 
-    def step(self, tids: Sequence[int], results) -> None:
+    def min_group(self):
+        """The next group to issue: ``(lowest_tag, [tid, ...])``.
+
+        Single pass over the lanes (the executor only ever needs the
+        minimum, so building the full ``live_groups`` dict per step is
+        wasted work).  Returns ``None`` when no thread is live.
+        """
+        best = None
+        tids = None
+        for tid, op in enumerate(self.pending):
+            if op is None:
+                continue
+            tag = op.tag
+            if best is None or tag < best:
+                best = tag
+                tids = [tid]
+            elif tag == best:
+                tids.append(tid)
+        if best is None:
+            return None
+        return best, tids
+
+    def step(self, tids: Sequence[int], results=None) -> None:
         """Advance the given threads past their current op."""
-        for tid in tids:
-            self.pending[tid] = self._advance(tid, results.get(tid))
+        advance = self._advance
+        pending = self.pending
+        if results:
+            get = results.get
+            for tid in tids:
+                pending[tid] = advance(tid, get(tid))
+        else:
+            for tid in tids:
+                pending[tid] = advance(tid, None)
 
     @property
     def alive(self) -> bool:

@@ -16,6 +16,7 @@ from typing import Any, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.gpu.isa import AccelCall, Compute, Load
+from repro.gpu.replay import value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -39,6 +40,10 @@ class BTreeKernelArgs:
     result_buf: int
     jobs: List[TraversalJob] = field(default_factory=list)
     results: dict = field(default_factory=dict)
+    #: workload-owned recording cache for gpu/replay.py (None = record
+    #: nothing; the baseline kernel is value-independent, so replay is
+    #: byte-identical to generating)
+    stream_cache: dict = None
 
 
 def _keys_scanned(node, query: int) -> int:
@@ -49,6 +54,7 @@ def _keys_scanned(node, query: int) -> int:
     return max(1, len(node.keys))
 
 
+@value_independent
 def btree_baseline_kernel(tid: int, args: BTreeKernelArgs):
     """One thread = one query, searched with the software while-loop."""
     query = args.queries[tid]

@@ -14,6 +14,7 @@ from typing import List, Sequence
 from repro.errors import ConfigurationError
 from repro.geometry.vec import Vec3
 from repro.gpu.isa import AccelCall, Compute
+from repro.gpu.replay import value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -35,8 +36,11 @@ class KNNKernelArgs:
     result_buf: int
     jobs: List[TraversalJob] = field(default_factory=list)
     results: dict = field(default_factory=dict)
+    #: workload-owned recording cache for gpu/replay.py
+    stream_cache: dict = None
 
 
+@value_independent
 def knn_baseline_kernel(tid: int, args: KNNKernelArgs):
     result = args.tree.knn(args.queries[tid], args.k)
     yield from prologue(args.query_buf + tid * 12, setup_alu=6)

@@ -23,6 +23,7 @@ from typing import Any, List
 
 from repro.errors import ConfigurationError
 from repro.gpu.isa import AccelCall, Compute
+from repro.gpu.replay import value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -54,8 +55,11 @@ class NBodyKernelArgs:
     #: kernel-merging optimization of §V-A); 0 = separate kernels
     fused_post_insts: int = 0
     warp_size: int = 32
+    #: workload-owned recording cache for gpu/replay.py
+    stream_cache: dict = None
 
 
+@value_independent
 def nbody_baseline_kernel(tid: int, args: NBodyKernelArgs):
     """Warp-voting union walk: converged control flow, predicated lanes."""
     body = args.tree.bodies[tid]

@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.geometry.intersect import point_distance_below
 from repro.geometry.vec import Vec3
 from repro.gpu.isa import AccelCall, Compute
+from repro.gpu.replay import value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -75,8 +76,11 @@ class RadiusKernelArgs:
     result_buf: int
     jobs: List[TraversalJob] = field(default_factory=list)
     results: dict = field(default_factory=dict)
+    #: workload-owned recording cache for gpu/replay.py
+    stream_cache: dict = None
 
 
+@value_independent
 def radius_baseline_kernel(tid: int, args: RadiusKernelArgs):
     """Software radius search on the SIMT cores (the CUDA comparator)."""
     trace = radius_query(args.bvh, args.queries[tid], args.radius)

@@ -14,6 +14,7 @@ from typing import Any, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.gpu.isa import AccelCall, Compute
+from repro.gpu.replay import value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue
 from repro.rta.traversal import Step, TraversalJob
@@ -39,8 +40,11 @@ class RayTraceKernelArgs:
     frame_buf: int = 0
     shade_insts: int = SHADE_ALU
     results: dict = field(default_factory=dict)
+    #: workload-owned recording cache for gpu/replay.py
+    stream_cache: dict = None
 
 
+@value_independent
 def rt_baseline_kernel(tid: int, args: RayTraceKernelArgs):
     """Software while-while BVH traversal on the SIMT cores (no RTA)."""
     yield from prologue(args.ray_buf + tid * 32, setup_alu=8)

@@ -13,6 +13,7 @@ from typing import List, Sequence
 from repro.errors import ConfigurationError
 from repro.geometry.aabb import AABB
 from repro.gpu.isa import AccelCall, Compute
+from repro.gpu.replay import value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -33,8 +34,11 @@ class RTreeKernelArgs:
     result_buf: int
     jobs: List[TraversalJob] = field(default_factory=list)
     results: dict = field(default_factory=dict)
+    #: workload-owned recording cache for gpu/replay.py
+    stream_cache: dict = None
 
 
+@value_independent
 def rtree_baseline_kernel(tid: int, args: RTreeKernelArgs):
     """One thread = one range query on the SIMT cores."""
     trace = args.tree.range_query(args.windows[tid])

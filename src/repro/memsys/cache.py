@@ -14,6 +14,9 @@ from repro.errors import ConfigurationError
 class Cache:
     """LRU cache tags over fixed-size lines."""
 
+    __slots__ = ("name", "line_size", "assoc", "n_sets", "_sets",
+                 "accesses", "hits")
+
     def __init__(self, name: str, size_bytes: int, assoc: int,
                  line_size: int = 128):
         if size_bytes <= 0 or line_size <= 0:
@@ -51,6 +54,25 @@ class Cache:
             cache_set.move_to_end(line)
             self.hits += 1
             return True
+        return False
+
+    def touch(self, addr: int) -> bool:
+        """Combined probe-and-fill: ``lookup`` plus, on a miss, ``fill``.
+
+        The hierarchy installs the line in every probed cache on a miss
+        anyway, so fusing the two walks halves the per-sector dict work
+        on the hot path.  Returns True on hit.
+        """
+        line = addr - addr % self.line_size
+        cache_set = self._sets[(line // self.line_size) % self.n_sets]
+        self.accesses += 1
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return True
+        if len(cache_set) >= self.assoc:
+            cache_set.popitem(last=False)
+        cache_set[line] = True
         return False
 
     def fill(self, addr: int) -> None:

@@ -9,7 +9,7 @@ line already in flight piggybacks on the first fill and generates no
 extra DRAM traffic.
 """
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.gpu.config import GPUConfig
 from repro.memsys.cache import Cache
@@ -40,11 +40,14 @@ class MemoryHierarchy:
 
     # -- access paths -----------------------------------------------------------
     def access_sectors(self, now: float, l1: Cache,
-                       sector_addrs: List[int]) -> float:
+                       sector_addrs: Iterable[int]) -> float:
         """Serve a list of sector reads; return when the *last* one is ready."""
         ready = now
+        access_one = self._access_one
         for sector in sector_addrs:
-            ready = max(ready, self._access_one(now, l1, sector))
+            done = access_one(now, l1, sector)
+            if done > ready:
+                ready = done
         return ready
 
     def access(self, now: float, l1: Cache,
@@ -54,30 +57,25 @@ class MemoryHierarchy:
         return self.access_sectors(now, l1, sectors)
 
     def _access_one(self, now: float, l1: Cache, sector: int) -> float:
+        # Caches are probed with Cache.touch (probe + fill fused): the
+        # seed code filled the probed cache on every miss branch anyway,
+        # so the tag/LRU state transitions are identical.
         cfg = self.config
         self.sector_requests += 1
-        if l1 is not None and l1.lookup(sector):
+        if l1 is not None and l1.touch(sector):
             return now + cfg.l1_latency
         # L1 miss: the line may already be on its way (from this or any SM).
-        line = self.l2.line_of(sector)
+        line = sector - sector % cfg.line_size
         inflight = self._inflight.get(line)
         if inflight is not None and inflight > now:
             self.mshr_merges += 1
-            if l1 is not None:
-                l1.fill(sector)
             return inflight
-        if self.l2.lookup(sector):
-            done = self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
-            if l1 is not None:
-                l1.fill(sector)
-            return done
-        # L2 miss: fetch a full line from DRAM, fill L2 and the requester L1.
+        if self.l2.touch(sector):
+            return self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
+        # L2 miss: fetch a full line from DRAM (L2 and L1 already filled).
         l2_ready = self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
         done = self.dram.transfer(l2_ready, cfg.line_size) + cfg.dram_latency
         self._inflight[line] = done
-        self.l2.fill(sector)
-        if l1 is not None:
-            l1.fill(sector)
         return done
 
     # -- statistics ----------------------------------------------------------

@@ -25,6 +25,7 @@ class RTAMemScheduler:
         self.l1 = l1
         self.issue = Timeline("rta.memsched")
         self.service = 1.0 / reqs_per_cycle
+        self._sector = hierarchy.config.sector_size
         #: node address -> completion time of the in-flight fetch
         self._inflight: Dict[int, float] = {}
         self.fetches = 0
@@ -37,11 +38,11 @@ class RTAMemScheduler:
             self.coalesced += 1
             return inflight
         start = self.issue.acquire(now, self.service)
-        sector = self.hierarchy.config.sector_size
+        sector = self._sector
         base = address - (address % sector)
-        sectors = list(range(base, address + size, sector))
-        done = self.hierarchy.access_sectors(start + self.service,
-                                             self.l1, sectors)
+        done = self.hierarchy.access_sectors(start + self.service, self.l1,
+                                             range(base, address + size,
+                                                   sector))
         self._inflight[address] = done
         self.fetches += 1
         return done

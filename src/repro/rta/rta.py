@@ -1,8 +1,8 @@
 """The accelerator core: admission, traversal replay, shader bounces.
 
 ``RTACore`` is attached to an SM and receives work through
-``submit(now, jobs)`` (the :class:`~repro.gpu.isa.AccelCall` path).  Each
-job runs as its own simulation process:
+``submit(now, jobs)`` (the :class:`~repro.gpu.isa.AccelCall` path).
+Each job walks the same state machine:
 
 1. wait for a warp-buffer ray slot,
 2. for each step: fetch the node through the RTA memory scheduler,
@@ -12,10 +12,19 @@ job runs as its own simulation process:
    issue port — the expensive intersection-shader bounce that the
    baseline needs for procedural geometry and that TTA+ eliminates.
 
+On the fast engine the state machine is driven directly (the *batched*
+path): one launch event admits a whole submission, resource completion
+times are computed analytically, and all jobs waking at the same cycle
+advance from a single drain event — a per-(core, cycle) wake bucket
+instead of one heap event per query per step.  Under the legacy heap
+engine (``REPRO_SIM_CORE=legacy``) each job runs as its own generator
+process, exactly as the seed engine did.
+
 The submission's signal fires when all of its jobs complete, resuming
 the launching warp.
 """
 
+from collections import deque
 from typing import Iterable, List
 
 from repro.errors import ConfigurationError
@@ -23,11 +32,47 @@ from repro.rta.mem_scheduler import RTAMemScheduler
 from repro.rta.traversal import Step, TraversalJob
 from repro.rta.units import FixedFunctionBackend
 from repro.rta.warp_buffer import WarpBuffer
+from repro.sim.engine import TIME_EPS, ceil_cycles
 from repro.sim.stats import LatencySampler
 
 #: Fixed cost of suspending a traversal and scheduling shader threads on
 #: the SM (launch + result return), in cycles each way.
 SHADER_HANDOFF_CYCLES = 40
+
+
+class _Batch:
+    """One submission: completion countdown plus the signal to fire."""
+
+    __slots__ = ("remaining", "signal", "jobs")
+
+    def __init__(self, remaining, signal, jobs):
+        self.remaining = remaining
+        self.signal = signal
+        self.jobs = jobs
+
+
+class _JobRun:
+    """Per-job state for the batched driver: where the traversal is.
+
+    ``at`` is the job's *analytic* clock: engine wake-ups are quantized
+    to whole cycles, but the traversal chains its resource completion
+    times in exact float time (just like the legacy per-job generator,
+    which resumed at the float timestamp directly), so rounding never
+    compounds across steps.
+    """
+
+    __slots__ = ("job", "steps", "idx", "begin", "batch", "chain", "at",
+                 "fetched")
+
+    def __init__(self, job, batch, begin):
+        self.job = job
+        self.steps = job.steps
+        self.idx = 0
+        self.begin = begin
+        self.batch = batch
+        self.chain = None  # in-flight TTA+ µop chain, if any
+        self.at = begin
+        self.fetched = False  # current step's node fetch has completed
 
 
 class RTACore:
@@ -56,6 +101,10 @@ class RTACore:
         self.shader_bounces = 0
         self.shader_cycles = 0.0
         self._busy_jobs = 0
+        self._legacy = getattr(self.sim, "legacy_core", False)
+        self._chained = hasattr(backend, "begin_chain")
+        self._admit_queue = deque()
+        self._wake: dict = {}  # cycle -> [_JobRun, ...] awaiting that cycle
 
     # -- submission interface (matches gpu.sm expectations) ---------------------
     def submit(self, now: float, jobs: Iterable[TraversalJob]):
@@ -63,13 +112,160 @@ class RTACore:
         if not jobs:
             raise ConfigurationError("empty accelerator submission")
         done_signal = self.sim.signal()
-        state = {"remaining": len(jobs)}
         launch_at = now + self.config.rta_issue_overhead
-        for job in jobs:
-            self.sim.call_at(launch_at, self._start_job, job, state,
-                             done_signal, jobs)
+        if self._legacy:
+            state = {"remaining": len(jobs)}
+            for job in jobs:
+                self.sim.call_at(launch_at, self._start_job, job, state,
+                                 done_signal, jobs)
+        else:
+            batch = _Batch(len(jobs), done_signal, jobs)
+            self.sim.call_at(launch_at, self._launch_batch, batch)
         return done_signal
 
+    # -- batched driver (fast engine) --------------------------------------------
+    def _launch_batch(self, batch: _Batch) -> None:
+        now = self.sim.now
+        warp_buffer = self.warp_buffer
+        queue = self._admit_queue
+        advance = self._advance_job
+        for job in batch.jobs:
+            run = _JobRun(job, batch, now)
+            if queue or not warp_buffer.try_admit(now):
+                queue.append(run)
+            else:
+                warp_buffer.record_access(writes=1)  # install ray state
+                advance(run)
+
+    def _advance_job(self, run: _JobRun) -> None:
+        backend = self.backend
+        warp_buffer = self.warp_buffer
+        fetch = self.mem.fetch
+        wake_at = self._wake_at
+        steps = run.steps
+        n_steps = len(steps)
+        chained = self._chained
+        prefetch_depth = self.prefetch_depth
+        while True:
+            now = run.at
+            if run.chain is not None:
+                wake = backend.advance_chain(run.chain, now)
+                if wake is not None:
+                    wake_at(wake, run)
+                    return
+                run.chain = None
+                run.idx += 1
+                continue
+            idx = run.idx
+            if idx >= n_steps:
+                break
+            step = steps[idx]
+            if not run.fetched:
+                # Fetch the node, then *park until the data arrives* before
+                # touching the backend: issuing the op at the (future)
+                # fetch-completion time from within the current event
+                # would acquire the FIFO unit timelines out of arrival
+                # order and distort contention for every other job.
+                address = step.address
+                if address >= 0:
+                    if prefetch_depth:
+                        for ahead in steps[idx + 1: idx + 1 + prefetch_depth]:
+                            if ahead.address >= 0:
+                                fetch(now, ahead.address, ahead.size)
+                    ready = fetch(now, address, step.size)
+                else:
+                    ready = now
+                warp_buffer.record_access(reads=2, writes=1)
+                if ready > now:
+                    run.fetched = True
+                    wake_at(ready, run)
+                    return
+            run.fetched = False
+            op = step.op
+            if op == "shader":
+                run.idx = idx + 1
+                wake_at(self._shader_finish_at(now, step), run)
+                return
+            if chained:
+                chain = backend.begin_chain(op, step.count)
+                wake = backend.advance_chain(chain, now)
+                if wake is not None:
+                    run.chain = chain
+                    wake_at(wake, run)
+                    return
+                run.idx = idx + 1
+                continue
+            done = backend.finish_at(now, op, step.count)
+            run.idx = idx + 1
+            if done > now:
+                wake_at(done, run)
+                return
+        self._finish_job(run)
+
+    def _wake_at(self, time, run: _JobRun) -> None:
+        """Park ``run`` until (the ceiling cycle of) analytic ``time``.
+
+        All jobs of this core waking at one cycle share a single engine
+        event: whole warps of same-latency queries advance per drain.
+        The run resumes with ``run.at`` set to the exact float ``time``,
+        so quantization affects only event scheduling, not the model.
+        """
+        run.at = time
+        sim = self.sim
+        now = sim.now
+        # ceil_cycles(time - now), inlined: this runs once or twice per
+        # step of every traversal in every accelerated run.
+        delta = time - now
+        if delta <= 0:
+            cycle = now
+        else:
+            whole = int(delta)
+            cycle = now + (whole if delta - whole <= TIME_EPS else whole + 1)
+        bucket = self._wake.get(cycle)
+        if bucket is None:
+            self._wake[cycle] = [run]
+            sim.call_at(cycle, self._drain_wake, cycle)
+        else:
+            bucket.append(run)
+
+    def _drain_wake(self, cycle: int) -> None:
+        advance = self._advance_job
+        for run in self._wake.pop(cycle):
+            advance(run)
+
+    def _finish_job(self, run: _JobRun) -> None:
+        now = run.at  # analytic completion time (≤ the engine cycle)
+        warp_buffer = self.warp_buffer
+        warp_buffer.vacate(now)
+        self.traversal_latency.sample(now - run.begin)
+        self.jobs_completed += 1
+        batch = run.batch
+        batch.remaining -= 1
+        if batch.remaining == 0:
+            batch.signal.fire([j.result for j in batch.jobs])
+        queue = self._admit_queue
+        if queue and warp_buffer.try_admit(now):
+            nxt = queue.popleft()
+            nxt.at = now  # the freed slot is taken at the release time
+            warp_buffer.record_access(writes=1)
+            self._advance_job(nxt)
+
+    def _shader_finish_at(self, now, step: Step):
+        """Analytic intersection-shader bounce (see :meth:`_run_shader`)."""
+        warp_size = self.config.warp_size
+        insts = step.shader_insts * step.count
+        self.shader_bounces += step.count
+        start = self.sm.issue_port.acquire(
+            now + SHADER_HANDOFF_CYCLES,
+            max(1.0, insts / warp_size))
+        done = max(start + insts, now + insts) + 2 * SHADER_HANDOFF_CYCLES
+        self.shader_cycles += done - now
+        # Warp-batched: this ray's share of the shader warp's instructions.
+        self.sm.stats.count_compute("shader", insts / warp_size, warp_size,
+                                    warp_size)
+        return done
+
+    # -- per-job processes (legacy heap engine) -----------------------------------
     def _start_job(self, job: TraversalJob, state: dict, done_signal,
                    jobs: List[TraversalJob]) -> None:
         self.sim.spawn(self._run_job(job, state, done_signal, jobs))

@@ -34,10 +34,22 @@ class UnitPool:
         self._next = 0
 
     def issue(self, now: float):
-        unit = self.units[self._next]
-        self._next = (self._next + 1) % len(self.units)
+        units = self.units
+        nxt = self._next
+        unit = units[nxt]
+        nxt += 1
+        self._next = 0 if nxt == len(units) else nxt
         start, done = unit.issue(now)
         return unit, start, done
+
+    def issue_drain(self, now: float) -> float:
+        """Round-robin issue with the op drained at its own done time."""
+        units = self.units
+        nxt = self._next
+        unit = units[nxt]
+        nxt += 1
+        self._next = 0 if nxt == len(units) else nxt
+        return unit.issue_drain(now)
 
     @property
     def ops(self) -> int:
@@ -120,6 +132,35 @@ class FixedFunctionBackend:
             yield done - now
         for unit, unit_done in completions:
             unit.complete(unit_done)
+
+    def finish_at(self, now: float, op: str, count: int) -> float:
+        """Analytic form of :meth:`execute` for the batched job driver.
+
+        Issues ``count`` back-to-back ops at ``now`` and returns the
+        completion time of the last one without touching the event queue;
+        the caller schedules a single wake-up at (the ceiling of) that
+        time.  Occupancy and latency samples match :meth:`execute`: ops
+        enter at the request time and drain at their own ``done`` times.
+        """
+        pool = self.pools.get(op)
+        if pool is None:
+            raise ConfigurationError(
+                f"operation {op!r} is not supported by this "
+                f"{'TTA' if self.is_tta else 'baseline RTA'}"
+            )
+        if count == 1:  # the overwhelmingly common case
+            return pool.issue_drain(now)
+        issue = pool.issue
+        done = now
+        completions = []
+        for _ in range(count):
+            unit, _start, unit_done = issue(now)
+            completions.append((unit, unit_done))
+            if unit_done > done:
+                done = unit_done
+        for unit, unit_done in completions:
+            unit.complete(unit_done)
+        return done
 
     def snapshot(self, end: float) -> dict:
         out = {}

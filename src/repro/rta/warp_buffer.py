@@ -23,7 +23,10 @@ class WarpBuffer:
         self.capacity = warps * warp_size
         self._in_use = 0
         self._waiters: List = []
-        self.occupancy = OccupancyTracker()
+        # Relaxed: the batched driver enters/vacates at analytic float
+        # times, which may interleave out of order within one engine
+        # cycle (same as the backend's pipeline-chain trackers).
+        self.occupancy = OccupancyTracker(strict=False)
         self.reads = 0
         self.writes = 0
 
@@ -46,6 +49,25 @@ class WarpBuffer:
         self.occupancy.exit(self.sim.now)
         if self._waiters:
             self._waiters.pop(0).fire()
+
+    # -- non-blocking interface (batched job driver) -----------------------
+    def try_admit(self, now) -> bool:
+        """Claim a ray slot if one is free; the caller queues otherwise.
+
+        The batched driver keeps its own FIFO of waiting jobs instead of
+        parking one Signal-suspended process per ray, so admission costs
+        a counter bump rather than an event-queue round trip.
+        """
+        if self._in_use >= self.capacity:
+            return False
+        self._in_use += 1
+        self.occupancy.enter(now)
+        return True
+
+    def vacate(self, now) -> None:
+        """Release a slot claimed with :meth:`try_admit` (no signals)."""
+        self._in_use -= 1
+        self.occupancy.exit(now)
 
     def record_access(self, reads: int = 0, writes: int = 0) -> None:
         self.reads += reads

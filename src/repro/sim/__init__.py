@@ -3,7 +3,11 @@
 Every timing model in this package (SIMT cores, caches, DRAM, RTA/TTA/TTA+
 pipelines) is built on the primitives exported here:
 
-* :class:`~repro.sim.engine.Simulator` — the event queue and process runner.
+* :class:`~repro.sim.engine.Simulator` — the fast integer-cycle
+  calendar-queue engine (the default core).
+* :class:`~repro.sim.engine_ref.HeapSimulator` — the seed heap engine,
+  kept as a reference/baseline (``REPRO_SIM_CORE=legacy``).
+* :func:`make_simulator` — engine factory honouring ``REPRO_SIM_CORE``.
 * :class:`~repro.sim.resources.PipelinedUnit` /
   :class:`~repro.sim.resources.Timeline` /
   :class:`~repro.sim.resources.ThroughputResource` — contended resources
@@ -12,12 +16,19 @@ pipelines) is built on the primitives exported here:
   to produce the paper's utilization figures.
 """
 
-from repro.sim.engine import Signal, Simulator
+import hashlib
+import os
+import pathlib
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Signal, Simulator, ceil_cycles
+from repro.sim.engine_ref import HeapSimulator
 from repro.sim.resources import PipelinedUnit, ThroughputResource, Timeline
 from repro.sim.stats import Counter, LatencySampler, OccupancyTracker
 
 __all__ = [
     "Simulator",
+    "HeapSimulator",
     "Signal",
     "Timeline",
     "PipelinedUnit",
@@ -25,4 +36,52 @@ __all__ = [
     "Counter",
     "OccupancyTracker",
     "LatencySampler",
+    "ceil_cycles",
+    "core_mode",
+    "make_simulator",
+    "scheduler_fingerprint",
 ]
+
+#: Engine selector environment variable: "fast" (default) or "legacy".
+CORE_ENV = "REPRO_SIM_CORE"
+
+_CORE_MODES = ("fast", "legacy")
+
+
+def core_mode() -> str:
+    """The active engine, from ``$REPRO_SIM_CORE`` (default: fast)."""
+    mode = os.environ.get(CORE_ENV, "fast")
+    if mode not in _CORE_MODES:
+        raise ConfigurationError(
+            f"unknown {CORE_ENV}={mode!r}; pick from {_CORE_MODES}"
+        )
+    return mode
+
+
+def make_simulator():
+    """A fresh simulator of the configured engine kind."""
+    if core_mode() == "legacy":
+        return HeapSimulator()
+    return Simulator()
+
+
+def _engine_source_hash() -> str:
+    here = pathlib.Path(__file__).parent
+    digest = hashlib.sha256()
+    for name in ("engine.py", "engine_ref.py"):
+        digest.update((here / name).read_bytes())
+    return digest.hexdigest()[:12]
+
+
+#: Hash of the scheduler sources, computed once at import.
+_ENGINE_HASH = _engine_source_hash()
+
+
+def scheduler_fingerprint() -> str:
+    """Scheduler-model identity folded into exec-cache keys.
+
+    Combines a hash of the engine sources with the active core mode, so
+    results computed by one engine (or an older engine revision) can
+    never satisfy a spec executed under another.
+    """
+    return f"{_ENGINE_HASH}.{core_mode()}"

@@ -5,6 +5,10 @@ event engine), so a single ``next_free`` pointer per server suffices to
 model FIFO contention exactly, without per-cycle arbitration events.
 This keeps the simulator fast while staying cycle-faithful for in-order
 resources, which covers every unit in the paper's RTA/TTA/TTA+ designs.
+
+These objects sit on the simulator's hottest paths (every node fetch,
+every intersection op), so they use ``__slots__`` and keep their
+arithmetic inline rather than layered through helper objects.
 """
 
 from typing import Tuple
@@ -21,6 +25,8 @@ class Timeline:
     utilization reporting.
     """
 
+    __slots__ = ("name", "_next_free", "_busy", "requests")
+
     def __init__(self, name: str = "timeline"):
         self.name = name
         self._next_free = 0.0
@@ -30,7 +36,9 @@ class Timeline:
     def acquire(self, now: float, service: float) -> float:
         if service < 0:
             raise SimulationError(f"{self.name}: negative service {service}")
-        start = max(now, self._next_free)
+        start = self._next_free
+        if now > start:
+            start = now
         self._next_free = start + service
         self._busy += service
         self.requests += 1
@@ -60,6 +68,10 @@ class PipelinedUnit:
     report queued-plus-executing concurrency like the paper does.
     """
 
+    __slots__ = ("name", "latency", "initiation_interval", "_next_issue",
+                 "issue_requests", "occupancy", "latency_stats", "ops",
+                 "busy_cycles")
+
     def __init__(self, name: str, latency: float,
                  initiation_interval: float = 1.0, strict: bool = True):
         if latency <= 0:
@@ -67,24 +79,53 @@ class PipelinedUnit:
         self.name = name
         self.latency = latency
         self.initiation_interval = initiation_interval
-        self._issue_timeline = Timeline(f"{name}.issue")
+        # The issue timeline is inlined (one `_next_issue` pointer): a
+        # Timeline object here costs an extra call per op on the hottest
+        # loop of the whole simulator.
+        self._next_issue = 0.0
+        self.issue_requests = 0
         self.occupancy = OccupancyTracker(strict=strict)
         self.latency_stats = LatencySampler()
         self.ops = 0
         self.busy_cycles = 0.0
 
     def issue(self, now: float) -> Tuple[float, float]:
-        start = self._issue_timeline.acquire(now, self.initiation_interval)
+        ii = self.initiation_interval
+        start = self._next_issue
+        if now > start:
+            start = now
+        self._next_issue = start + ii
         done = start + self.latency
         self.occupancy.enter(now)
         self.ops += 1
-        self.busy_cycles += self.initiation_interval
+        self.issue_requests += 1
+        self.busy_cycles += ii
         self.latency_stats.sample(done - now)
         return start, done
 
     def complete(self, time: float) -> None:
         """Mark one op as drained from the unit at ``time``."""
         self.occupancy.exit(time)
+
+    def issue_drain(self, now: float) -> float:
+        """``issue(now)`` + ``complete(done)`` fused; returns ``done``.
+
+        The batched driver's analytic path drains the op at its own
+        completion time within the same event, so the two occupancy
+        samples collapse into one :meth:`OccupancyTracker.pulse`.
+        """
+        ii = self.initiation_interval
+        start = self._next_issue
+        if now > start:
+            start = now
+        self._next_issue = start + ii
+        done = start + self.latency
+        self.occupancy.pulse(now, done)
+        self.ops += 1
+        self.issue_requests += 1
+        self.busy_cycles += ii
+        self.latency_stats.sample(done - now)
+        return done
 
     def utilization(self, end: float) -> float:
         """Fraction of issue slots used over [0, end]."""
@@ -100,6 +141,8 @@ class ThroughputResource:
     time, which is exactly the "DRAM bandwidth utilization" metric the
     paper plots in Figs. 1 and 13.
     """
+
+    __slots__ = ("name", "per_cycle", "latency", "_timeline", "bytes_moved")
 
     def __init__(self, name: str, per_cycle: float, latency: float = 0.0):
         if per_cycle <= 0:

@@ -17,6 +17,8 @@ from typing import Dict, Iterable
 class Counter:
     """A named bag of integer counters (dynamic instructions, accesses...)."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, float] = defaultdict(float)
 
@@ -52,6 +54,9 @@ class OccupancyTracker:
     occupancy ever observed.
     """
 
+    __slots__ = ("_current", "_last_time", "_area", "_strict", "peak",
+                 "entries")
+
     def __init__(self, strict: bool = True) -> None:
         self._current = 0
         self._last_time = 0.0
@@ -73,17 +78,63 @@ class OccupancyTracker:
         self._last_time = time
 
     def enter(self, time: float, count: int = 1) -> None:
-        self._advance(time)
-        self._current += count
+        # _advance inlined: enter/exit fire once per intersection op.
+        last = self._last_time
+        current = self._current
+        if time < last:
+            if self._strict:
+                raise ValueError(
+                    f"occupancy sample at {time} before {last}"
+                )
+            time = last
+        self._area += current * (time - last)
+        self._last_time = time
+        current += count
+        self._current = current
         self.entries += count
-        if self._current > self.peak:
-            self.peak = self._current
+        if current > self.peak:
+            self.peak = current
 
     def exit(self, time: float, count: int = 1) -> None:
-        self._advance(time)
-        self._current -= count
-        if self._current < 0:
+        last = self._last_time
+        current = self._current
+        if time < last:
+            if self._strict:
+                raise ValueError(
+                    f"occupancy sample at {time} before {last}"
+                )
+            time = last
+        self._area += current * (time - last)
+        self._last_time = time
+        current -= count
+        self._current = current
+        if current < 0:
             raise ValueError("occupancy went negative")
+
+    def pulse(self, t_in: float, t_out: float) -> None:
+        """``enter(t_in)`` + ``exit(t_out)`` fused (t_out >= t_in).
+
+        The batched accelerator driver issues an op and drains it at its
+        analytic completion time within one event; fusing the two samples
+        halves the tracker calls on that path.  Equivalent to the two
+        separate calls, including the relaxed-mode clamping.
+        """
+        last = self._last_time
+        current = self._current
+        if t_in < last:
+            if self._strict:
+                raise ValueError(
+                    f"occupancy sample at {t_in} before {last}"
+                )
+            t_in = last
+        if t_out < t_in:
+            t_out = t_in
+        self._area += current * (t_in - last) + (current + 1) * (t_out - t_in)
+        self._last_time = t_out
+        self._current = current
+        self.entries += 1
+        if current + 1 > self.peak:
+            self.peak = current + 1
 
     @property
     def current(self) -> int:
@@ -99,6 +150,8 @@ class OccupancyTracker:
 
 class LatencySampler:
     """Streaming mean/min/max over latency samples."""
+
+    __slots__ = ("count", "total", "min", "max")
 
     def __init__(self) -> None:
         self.count = 0

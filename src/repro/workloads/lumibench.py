@@ -10,8 +10,8 @@ workload (WKND_PT) lives in :mod:`repro.workloads.wknd`.
 """
 
 import random
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.geometry.ray import Ray
@@ -59,6 +59,10 @@ class LumiWorkload:
     frame_buf: int
     sato_visits_per_thread: Optional[List[List[tuple]]] = None
     leaf_geometry: str = "triangle"
+    # The baseline op stream depends on which visit set is used: one
+    # recording cache (gpu/replay.py) per sato flag.
+    _stream_caches: Dict[bool, dict] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     @property
     def n_rays(self) -> int:
@@ -78,6 +82,7 @@ class LumiWorkload:
             visits_per_thread=visits,
             ray_buf=self.ray_buf,
             frame_buf=self.frame_buf,
+            stream_cache=self._stream_caches.setdefault(sato, {}),
         )
 
     def _pick_visits(self, sato: bool) -> List[List[tuple]]:

@@ -7,8 +7,8 @@ overlap scan.
 """
 
 import random
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.geometry.aabb import AABB
@@ -28,6 +28,12 @@ class RTreeWorkload:
     space: AddressSpace
     query_buf: int
     result_buf: int
+    # Job lowering is pure per (tree, windows, flavor); cache it across
+    # repeated runs of the same workload object.
+    _jobs_cache: Dict[str, List[TraversalJob]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _stream_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> RTreeKernelArgs:
         return RTreeKernelArgs(
@@ -36,10 +42,15 @@ class RTreeWorkload:
             query_buf=self.query_buf,
             result_buf=self.result_buf,
             jobs=list(jobs),
+            stream_cache=self._stream_cache,
         )
 
     def jobs(self, flavor: str) -> List[TraversalJob]:
-        return build_rtree_jobs(self.tree, self.windows, flavor=flavor)
+        cached = self._jobs_cache.get(flavor)
+        if cached is None:
+            cached = self._jobs_cache[flavor] = build_rtree_jobs(
+                self.tree, self.windows, flavor=flavor)
+        return cached
 
     @property
     def n_queries(self) -> int:
