@@ -64,6 +64,14 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                         help="do not read or write the on-disk result cache")
     parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
                         help="per-point timeout in seconds (parallel runs)")
+    parser.add_argument("--guard", default=None,
+                        choices=("off", "watch", "on", "strict"),
+                        help="simulation guard mode (default: $REPRO_GUARD "
+                             "or on); exported to worker processes")
+    parser.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                        help="abort any simulation whose clock passes N "
+                             "cycles (SimulationStallError with a "
+                             "diagnostic bundle)")
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -146,6 +154,19 @@ def cmd_list() -> int:
     for name in sorted(EXPERIMENTS):
         print(f"{name:14s} {DESCRIPTIONS.get(name, '')}")
     return 0
+
+
+def _apply_guard_options(args) -> None:
+    """Export ``--guard``/``--max-cycles`` as the guard env vars, so
+    both this process and any forked workers pick them up."""
+    from repro.guard import GUARD_ENV, MAX_CYCLES_ENV
+
+    guard = getattr(args, "guard", None)
+    if guard is not None:
+        os.environ[GUARD_ENV] = guard
+    max_cycles = getattr(args, "max_cycles", None)
+    if max_cycles is not None:
+        os.environ[MAX_CYCLES_ENV] = str(max_cycles)
 
 
 def _configure_service(jobs: int, no_cache: bool, timeout):
@@ -302,6 +323,7 @@ def cmd_cache(action: str) -> int:
         print(f"cache root: {stats['root']} (format {stats['format']})")
         print(f"entries:    {stats['entries']}")
         print(f"size:       {stats['bytes'] / 1e6:.2f} MB")
+        print(f"corrupt:    {stats['corrupt']} (quarantined)")
     else:
         removed = cache.clear()
         print(f"removed {removed} cached run(s) from {cache.base}")
@@ -312,6 +334,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    _apply_guard_options(args)
     if args.command == "sweep":
         return cmd_sweep(args.kind, args.platforms, args.param,
                          csv_dir=args.csv_dir, json_dir=args.json_dir,

@@ -6,10 +6,14 @@ Layout (one entry per :class:`~repro.exec.spec.RunSpec` key)::
     <root>/v1/<key[:2]>/<key>.json   spec + creation metadata (debuggable)
 
 The pickle is the payload; the JSON sidecar exists so ``repro cache
-stats`` and humans can see *what* an entry is without unpickling it.
-Writes are atomic (tempfile + ``os.replace``) so a killed sweep never
-leaves a truncated entry behind; unreadable entries are treated as
-misses and deleted.
+stats`` and humans can see *what* an entry is without unpickling it,
+and it carries the payload's SHA-256 so reads are validated.  Writes
+are atomic (tempfile + ``os.replace``) so a killed sweep never leaves a
+truncated entry behind; a corrupt entry (checksum mismatch, truncated
+pickle, unreadable sidecar payload) is *quarantined* — moved to
+``<root>/corrupt/`` for post-mortem instead of silently deleted — and
+reported as a miss, so the point is recomputed rather than poisoning
+the sweep.
 
 The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
 Because the engine is deterministic, a cache hit is byte-identical to
@@ -17,6 +21,8 @@ re-running the simulation (``tests/test_exec.py`` asserts this), so
 resuming an interrupted sweep only executes the missing points.
 """
 
+import hashlib
+import json
 import os
 import pathlib
 import pickle
@@ -61,37 +67,77 @@ class ResultCache:
         """Return the cached RunResult for ``spec``, or None on a miss.
 
         A corrupt or unreadable entry (interrupted write from an older,
-        pre-atomic layout, disk fault, unpicklable class drift) is
-        evicted and reported as a miss rather than poisoning the run.
+        pre-atomic layout, disk fault, unpicklable class drift, payload
+        not matching the sidecar's SHA-256) is quarantined into
+        ``<root>/corrupt/`` and reported as a miss rather than
+        poisoning the run.
         """
         pkl, meta = self._paths(spec.key)
         try:
             with open(pkl, "rb") as fh:
-                return pickle.load(fh)
+                payload = fh.read()
+            expected = self._expected_sha(meta)
+            if expected is not None and \
+                    hashlib.sha256(payload).hexdigest() != expected:
+                raise ValueError(f"cache entry {spec.key} fails its checksum")
+            return pickle.loads(payload)
         except FileNotFoundError:
             return None
         except Exception:
-            for path in (pkl, meta):
+            self.quarantine(spec.key)
+            return None
+
+    @staticmethod
+    def _expected_sha(meta: pathlib.Path) -> Optional[str]:
+        """The payload checksum recorded at put() time, if any.
+
+        Entries written before checksums existed (or with a damaged
+        sidecar) validate by unpickling alone.
+        """
+        try:
+            with open(meta, "r") as fh:
+                return json.load(fh).get("sha256")
+        except Exception:
+            return None
+
+    def quarantine(self, key: str) -> None:
+        """Move a damaged entry to ``<root>/corrupt/`` (delete as a
+        last resort), so it reads as a miss but survives post-mortem."""
+        pkl, meta = self._paths(key)
+        corrupt_dir = self.base / "corrupt"
+        try:
+            corrupt_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            corrupt_dir = None
+        for path in (pkl, meta):
+            moved = False
+            if corrupt_dir is not None:
+                try:
+                    os.replace(path, corrupt_dir / path.name)
+                    moved = True
+                except OSError:
+                    pass
+            if not moved:
                 try:
                     path.unlink()
                 except OSError:
                     pass
-            return None
 
     # -- write ----------------------------------------------------------------
     def put(self, spec: RunSpec, result: Any,
             seconds: Optional[float] = None) -> None:
         pkl, meta = self._paths(spec.key)
         pkl.parent.mkdir(parents=True, exist_ok=True)
-        self._atomic_write(pkl, pickle.dumps(result, protocol=4))
+        payload = pickle.dumps(result, protocol=4)
+        self._atomic_write(pkl, payload)
         sidecar = {
             "spec": spec.canonical(),
             "label": spec.label,
             "created": time.time(),
+            "sha256": hashlib.sha256(payload).hexdigest(),
         }
         if seconds is not None:
             sidecar["seconds"] = seconds
-        import json
         self._atomic_write(meta, json.dumps(sidecar, indent=1).encode())
 
     @staticmethod
@@ -112,8 +158,12 @@ class ResultCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
+        corrupt = 0
+        corrupt_dir = self.base / "corrupt"
+        if corrupt_dir.is_dir():
+            corrupt = sum(1 for _ in corrupt_dir.glob("*.pkl"))
         return {"root": str(self.base), "format": FORMAT,
-                "entries": entries, "bytes": size}
+                "entries": entries, "bytes": size, "corrupt": corrupt}
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -15,10 +15,27 @@ Semantics:
   but not attempts;
 * a broken pool (worker killed by the OOM killer, interpreter crash) is
   rebuilt the same way and the in-flight payload charged one attempt;
+* pool rebuilds are **rate-limited**: each ``map()`` call tolerates at
+  most ``max_restarts`` restarts, with exponential backoff between
+  consecutive ones (a reliably-crashing worker must not hot-loop the
+  fork path).  When the budget is exhausted, the remaining payloads are
+  drained one at a time through **one-shot isolation workers** (a fresh
+  single-payload process each) with a warning: a payload that crashes
+  the interpreter takes down only its private worker — and thereby
+  identifies itself, where concurrent attribution is ambiguous — so the
+  sweep always completes and the parent is never at risk.  Payloads
+  already known to *hang* (a timeout storm) are failed outright rather
+  than re-run;
+* an exception carrying a ``diagnostics`` attribute (the guard errors
+  of :mod:`repro.errors`) is treated as a *deterministic* model failure
+  and not retried — re-simulating a stall reproduces the stall; its
+  type and payload ride back on :attr:`Outcome.failure` so the policy
+  layer can quarantine the spec;
 * :func:`run_serial` provides the exact same contract in-process for
   environments where ``multiprocessing`` is unavailable or undesirable.
 """
 
+import sys
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -44,10 +61,45 @@ class Outcome:
     error: Optional[str] = None
     attempts: int = 1
     seconds: float = 0.0
+    #: Structured failure metadata: ``{"type": exception class name,
+    #: "diagnostics": dict or None}`` — present when the final attempt
+    #: raised, so policy layers can classify without parsing tracebacks.
+    failure: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+
+def _failure_info(exc: BaseException) -> dict:
+    """Classifiable failure metadata (duck-typed: any exception with a
+    dict-like ``diagnostics`` attribute gets it shipped along)."""
+    diagnostics = getattr(exc, "diagnostics", None)
+    if diagnostics is not None and not isinstance(diagnostics, dict):
+        diagnostics = None
+    return {"type": type(exc).__name__, "diagnostics": diagnostics}
+
+
+def _deterministic(exc: BaseException) -> bool:
+    """Failures carrying diagnostics are model verdicts, not flakiness;
+    retrying them re-simulates the same stall."""
+    return getattr(exc, "diagnostics", None) is not None
+
+
+def _one_shot_child(fn, payload, conn) -> None:
+    """Entry point of a one-shot isolation worker: run one payload,
+    ship the verdict back over ``conn``, exit.  A crash here (segfault,
+    ``os._exit``) simply closes the pipe — the parent reads EOF and
+    fails the payload with the worker's exit code."""
+    try:
+        value = fn(payload)
+    except BaseException as exc:  # noqa: BLE001 — verdicts cross a pipe
+        conn.send(("error", traceback.format_exc(limit=8),
+                   _failure_info(exc)))
+    else:
+        conn.send(("ok", value, None))
+    finally:
+        conn.close()
 
 
 def run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
@@ -63,12 +115,13 @@ def run_serial(fn: Callable[[Any], Any], items: Sequence[Any],
             attempts += 1
             try:
                 value = fn(item)
-            except Exception:
-                if attempts <= retries:
+            except Exception as exc:
+                if attempts <= retries and not _deterministic(exc):
                     continue
                 outcome = Outcome(index, STATUS_ERROR, None,
                                   traceback.format_exc(limit=8), attempts,
-                                  time.monotonic() - started)
+                                  time.monotonic() - started,
+                                  failure=_failure_info(exc))
             else:
                 outcome = Outcome(index, STATUS_OK, value, None, attempts,
                                   time.monotonic() - started)
@@ -88,13 +141,20 @@ class ParallelRunner:
     """
 
     def __init__(self, jobs: int, timeout: Optional[float] = None,
-                 retries: int = 1, mp_context: Optional[str] = "fork"):
+                 retries: int = 1, mp_context: Optional[str] = "fork",
+                 max_restarts: int = 5, backoff_base: float = 0.5,
+                 backoff_cap: float = 30.0):
         if jobs < 2:
             raise ValueError("ParallelRunner needs at least 2 jobs; "
                              "use run_serial for jobs=1")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = max(0, retries)
+        #: Pool rebuilds allowed per map() call before falling back to
+        #: serial execution of the remaining payloads.
+        self.max_restarts = max(0, max_restarts)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._ctx = self._resolve_context(mp_context)
         self._executor = self._make_executor()
 
@@ -142,6 +202,7 @@ class ParallelRunner:
         outcomes: List[Outcome] = [None] * len(items)  # type: ignore
         attempts = [0] * len(items)
         first_dispatch = [0.0] * len(items)
+        restarts = 0
 
         def submit(index: int, charge: bool = True):
             if charge:
@@ -153,22 +214,85 @@ class ParallelRunner:
             # (None while queued) — the per-run timeout clock.
             pending[future] = [index, None]
 
-        def recover_broken() -> None:
-            # Rebuild the pool and resubmit every in-flight payload;
-            # none of them failed on their own merits, so no attempt is
-            # charged.
-            survivors = [index for (index, _) in pending.values()]
-            pending.clear()
-            self._hard_restart()
-            for index in survivors:
-                submit(index, charge=False)
+        def try_restart() -> bool:
+            """Rebuild the pool within the per-map budget, backing off
+            exponentially after the first restart; False when the
+            budget is spent (caller falls back to serial)."""
+            nonlocal restarts
+            restarts += 1
+            if restarts > self.max_restarts:
+                return False
+            if restarts > 1:
+                delay = min(self.backoff_cap,
+                            self.backoff_base * (2 ** (restarts - 2)))
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                self._hard_restart()
+            except Exception:
+                return False
+            return True
 
-        def finish(index: int, status: str, value=None, error=None) -> None:
+        def finish(index: int, status: str, value=None, error=None,
+                   failure=None) -> None:
             outcomes[index] = Outcome(
                 index, status, value, error, attempts[index],
-                time.monotonic() - first_dispatch[index])
+                time.monotonic() - first_dispatch[index], failure=failure)
             if progress is not None:
                 progress(outcomes[index])
+
+        def serial_remainder(indexes, why: str) -> None:
+            """Restart budget exhausted: drain the remaining payloads
+            one at a time, each in a fresh one-shot worker process, so
+            the sweep still completes.  Isolation doubles as
+            attribution — whichever payload has been killing pool
+            workers now kills only its private interpreter and is
+            failed by name, while innocent siblings complete."""
+            if not indexes:
+                return
+            print(f"[exec] worker pool restart limit "
+                  f"({self.max_restarts}) reached after {why}; running "
+                  f"{len(indexes)} remaining payload(s) in one-shot "
+                  f"isolation workers", file=sys.stderr)
+            for index in indexes:
+                attempts[index] += 1
+                recv, send = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
+                    target=_one_shot_child, args=(fn, items[index], send))
+                proc.start()
+                send.close()
+                message = None
+                timed_out = False
+                # poll() returns on data or on EOF (the child died
+                # without sending); with timeout=None it waits forever,
+                # matching the pool path's "no timeout" contract.
+                if recv.poll(self.timeout):
+                    try:
+                        message = recv.recv()
+                    except EOFError:
+                        message = None
+                else:
+                    timed_out = True
+                recv.close()
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join()
+                if timed_out:
+                    finish(index, STATUS_TIMEOUT,
+                           error=f"run exceeded {self.timeout:.1f}s "
+                                 "timeout in a one-shot isolation "
+                                 "worker (pool restart limit reached)")
+                elif message is None:
+                    finish(index, STATUS_ERROR,
+                           error="payload crashed its one-shot "
+                                 f"isolation worker (exit code "
+                                 f"{proc.exitcode}; pool restart limit "
+                                 f"{self.max_restarts} reached)")
+                elif message[0] == "ok":
+                    finish(index, STATUS_OK, value=message[1])
+                else:
+                    finish(index, STATUS_ERROR, error=message[1],
+                           failure=message[2])
 
         pending = {}
         for index in range(len(items)):
@@ -187,18 +311,36 @@ class ParallelRunner:
                 try:
                     value = future.result()
                 except BrokenProcessPool:
-                    recover_broken()
-                    if attempts[index] <= self.retries:
+                    # Rebuild the pool and resubmit every in-flight
+                    # payload; the siblings did not fail on their own
+                    # merits, so no attempt is charged to them.
+                    survivors = [i for f, (i, _) in pending.items()
+                                 if f is not future]
+                    pending.clear()
+                    if try_restart():
+                        for i in survivors:
+                            submit(i, charge=False)
+                        if attempts[index] <= self.retries:
+                            submit(index)
+                        else:
+                            finish(index, STATUS_ERROR,
+                                   error="worker process pool broke")
+                    else:
+                        # Which concurrent payload killed the worker is
+                        # ambiguous (every pending future raises the
+                        # same BrokenProcessPool) — let the one-shot
+                        # isolation workers sort the guilty from the
+                        # innocent.
+                        serial_remainder([index] + survivors,
+                                         "a broken pool")
+                except Exception as exc:
+                    if attempts[index] <= self.retries \
+                            and not _deterministic(exc):
                         submit(index)
                     else:
                         finish(index, STATUS_ERROR,
-                               error="worker process pool broke")
-                except Exception:
-                    if attempts[index] <= self.retries:
-                        submit(index)
-                    else:
-                        finish(index, STATUS_ERROR,
-                               error=traceback.format_exc(limit=8))
+                               error=traceback.format_exc(limit=8),
+                               failure=_failure_info(exc))
                 else:
                     finish(index, STATUS_OK, value=value)
 
@@ -222,16 +364,26 @@ class ParallelRunner:
                                 pending.items()
                                 if future not in expired_futures]
             pending.clear()
-            self._hard_restart()
-            for index in survivor_indexes:
-                submit(index, charge=False)
-            for _, index in expired:
-                if attempts[index] <= self.retries:
-                    submit(index)
-                else:
+            if try_restart():
+                for index in survivor_indexes:
+                    submit(index, charge=False)
+                for _, index in expired:
+                    if attempts[index] <= self.retries:
+                        submit(index)
+                    else:
+                        finish(index, STATUS_TIMEOUT,
+                               error=f"run exceeded {self.timeout:.1f}s "
+                                     f"timeout ({attempts[index]} "
+                                     "attempt(s))")
+            else:
+                # Expired payloads are known to hang; fail them rather
+                # than hanging the parent, and drain the rest serially.
+                for _, index in expired:
                     finish(index, STATUS_TIMEOUT,
                            error=f"run exceeded {self.timeout:.1f}s "
-                                 f"timeout ({attempts[index]} attempt(s))")
+                                 f"timeout ({attempts[index]} attempt(s); "
+                                 "restart limit reached)")
+                serial_remainder(survivor_indexes, "a timeout storm")
         return outcomes
 
     def shutdown(self) -> None:

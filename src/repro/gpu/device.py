@@ -8,6 +8,7 @@ from repro.gpu.config import DEFAULT_CONFIG, GPUConfig
 from repro.gpu.replay import warp_trace
 from repro.gpu.sm import SM
 from repro.gpu.warp import Warp
+from repro.guard import Guard
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.sim import make_simulator
 from repro.sim.stats import Counter
@@ -97,12 +98,20 @@ class GPU:
         self.accelerator_factory = accelerator_factory
 
     def launch(self, kernel: KernelFn, n_threads: int, args: Any = None,
-               max_events: Optional[int] = None) -> KernelStats:
-        """Run ``kernel`` over ``n_threads`` threads to completion."""
+               max_events: Optional[int] = None,
+               guard=None) -> KernelStats:
+        """Run ``kernel`` over ``n_threads`` threads to completion.
+
+        ``guard`` overrides the ``$REPRO_GUARD``-derived watchdog for
+        this launch: pass a :class:`repro.guard.Guard`, a
+        :class:`repro.guard.GuardConfig`, or leave None to build one
+        from the environment (``REPRO_GUARD=off`` disables it).
+        """
         if n_threads <= 0:
             raise ConfigurationError("kernel needs at least one thread")
         cfg = self.config
         sim = make_simulator()  # fast core, or $REPRO_SIM_CORE=legacy
+        guard = Guard.resolve(guard)
         hierarchy = MemoryHierarchy(sim, cfg)
         stats = KernelStats()
         sms: List[SM] = [
@@ -131,9 +140,14 @@ class GPU:
                 threads = [kernel(tid, args) for tid in thread_ids]
                 sms[warp_id % cfg.n_sms].add_warp(Warp(warp_id, threads))
 
+        if guard is not None:
+            guard.attach(sim, sms=sms, hierarchy=hierarchy, stats=stats,
+                         n_warps=n_warps)
         for sm in sms:
             sm.start()
         sim.run(max_events=max_events)
+        if guard is not None:
+            guard.finalize()
 
         stats.cycles = sim.now
         stats.memory = hierarchy.stats(sim.now)

@@ -53,6 +53,16 @@ class SM:
         for _ in range(slots):
             self.sim.spawn(self._slot())
 
+    def guard_state(self) -> dict:
+        """JSON-serializable snapshot for repro.guard diagnostic bundles."""
+        return {
+            "sm": self.sm_id,
+            "warps_queued": len(self.warp_queue),
+            "warps_done": self._done_count,
+            "issue_next_free": self.issue_port.next_free,
+            "ldst_next_free": self.ldst.next_free,
+        }
+
     def _slot(self):
         """One residency slot: runs queued warps back to back."""
         while self.warp_queue:

@@ -1,0 +1,36 @@
+"""repro.guard — simulation watchdog, invariants, fault injection.
+
+The robustness subsystem around the fast simulation core:
+
+* :class:`Guard` (``watchdog.py``) — attached per launch; detects
+  no-progress states and budget overruns, verifies quiescence and
+  conservation invariants, and aborts with a structured
+  :class:`~repro.errors.SimulationStallError` /
+  :class:`~repro.errors.InvariantViolation` carrying a diagnostic
+  bundle instead of spinning forever.
+* :class:`GuardConfig` (``config.py``) — modes (``REPRO_GUARD`` =
+  ``off`` / ``watch`` / ``on`` / ``strict``) and thresholds.
+* :mod:`repro.guard.faults` — deterministic fault injection proving
+  the above actually fire.
+
+See ``docs/MODEL.md`` §"Guardrails" for the operator-facing story.
+"""
+
+from repro.errors import (FaultInjectionError, GuardError,
+                          InvariantViolation, SimulationStallError)
+from repro.guard.config import (GUARD_ENV, MAX_CYCLES_ENV, MODES,
+                                GuardConfig, guard_mode)
+from repro.guard.watchdog import Guard
+
+__all__ = [
+    "GUARD_ENV",
+    "MAX_CYCLES_ENV",
+    "MODES",
+    "Guard",
+    "GuardConfig",
+    "GuardError",
+    "FaultInjectionError",
+    "InvariantViolation",
+    "SimulationStallError",
+    "guard_mode",
+]

@@ -1,0 +1,116 @@
+"""Guard configuration: modes and thresholds, parsed from the environment.
+
+``REPRO_GUARD`` selects the mode:
+
+* ``off``    — no guard is attached; zero overhead.
+* ``watch``  — watchdog only: no-progress detection, park budgets,
+  quiescence check (run must not go quiet with work pending).
+* ``on``     — (default) watchdog plus end-of-run conservation
+  invariants.
+* ``strict`` — additionally re-checks balance invariants at every
+  watchdog checkpoint ("per-epoch") and enables arrival-order checking
+  on the accelerator memory-scheduler timelines.
+
+Thresholds (all overridable via environment):
+
+* ``REPRO_GUARD_MAX_CYCLES``   — abort if the cycle clock passes this
+  (default: unlimited).
+* ``REPRO_GUARD_STALL_EVENTS`` — abort after this many host events with
+  no model progress (default 2,000,000).  Progress is measured by a
+  token built from monotone model counters (jobs completed, traversal
+  steps, warps retired, SIMT issues, memory sectors), so legitimate
+  far-future time jumps are not flagged.
+* ``REPRO_GUARD_CHECK_EVENTS`` — watchdog checkpoint cadence in host
+  events (default 200,000).
+* ``REPRO_GUARD_PARK_CYCLES``  — a job may wait in a core's admission
+  queue at most this many cycles (default 5,000,000); a wake bucket
+  whose cycle has already passed is flagged immediately.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+GUARD_ENV = "REPRO_GUARD"
+MAX_CYCLES_ENV = "REPRO_GUARD_MAX_CYCLES"
+STALL_EVENTS_ENV = "REPRO_GUARD_STALL_EVENTS"
+CHECK_EVENTS_ENV = "REPRO_GUARD_CHECK_EVENTS"
+PARK_CYCLES_ENV = "REPRO_GUARD_PARK_CYCLES"
+
+MODES = ("off", "watch", "on", "strict")
+
+DEFAULT_STALL_EVENTS = 2_000_000
+DEFAULT_CHECK_EVENTS = 200_000
+DEFAULT_PARK_CYCLES = 5_000_000
+
+
+def guard_mode() -> str:
+    """The active guard mode from ``$REPRO_GUARD`` (default ``on``)."""
+    mode = os.environ.get(GUARD_ENV, "on").strip().lower() or "on"
+    if mode not in MODES:
+        raise ConfigurationError(
+            f"{GUARD_ENV}={mode!r} is not a guard mode; expected one of {MODES}"
+        )
+    return mode
+
+
+def _env_int(name: str, default: Optional[int]) -> Optional[int]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name}={raw!r} is not an integer")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Immutable guard thresholds; see the module docstring for semantics."""
+
+    mode: str = "on"
+    check_events: int = DEFAULT_CHECK_EVENTS
+    stall_events: int = DEFAULT_STALL_EVENTS
+    park_cycles: int = DEFAULT_PARK_CYCLES
+    max_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"guard mode {self.mode!r} not in {MODES}"
+            )
+        for field in ("check_events", "stall_events", "park_cycles"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"GuardConfig.{field} must be a positive int, got {value!r}"
+                )
+        if self.max_cycles is not None and self.max_cycles <= 0:
+            raise ConfigurationError(
+                f"GuardConfig.max_cycles must be positive, got {self.max_cycles!r}"
+            )
+
+    @property
+    def checks_invariants(self) -> bool:
+        return self.mode in ("on", "strict")
+
+    @property
+    def strict(self) -> bool:
+        return self.mode == "strict"
+
+    @classmethod
+    def from_env(cls, **overrides) -> "GuardConfig":
+        values = {
+            "mode": guard_mode(),
+            "check_events": _env_int(CHECK_EVENTS_ENV, DEFAULT_CHECK_EVENTS),
+            "stall_events": _env_int(STALL_EVENTS_ENV, DEFAULT_STALL_EVENTS),
+            "park_cycles": _env_int(PARK_CYCLES_ENV, DEFAULT_PARK_CYCLES),
+            "max_cycles": _env_int(MAX_CYCLES_ENV, None),
+        }
+        values.update(overrides)
+        return cls(**values)

@@ -1,0 +1,287 @@
+"""Deterministic fault injection into the simulation's failure seams.
+
+The watchdog and the conservation invariants are only worth their
+overhead if they demonstrably fire, so this module can break a run in
+precisely the ways ``repro.guard`` claims to catch.  Faults are
+installed by wrapping methods on *one accelerator instance* (never a
+class), so a faulted core sits next to healthy ones in the same GPU and
+nothing leaks between launches.
+
+Fault kinds (:data:`KINDS`):
+
+``drop_wake``
+    The victim job's next wake-up is parked in a wake bucket whose
+    drain event is never scheduled — the exact bug class the batched
+    driver's per-(core, cycle) buckets make possible.  The simulation
+    goes quiet with the job in flight; the guard's quiescence check (or
+    the parked-work scan, if other work keeps the clock moving past the
+    bucket's cycle) reports it.
+``stall``
+    The victim job re-parks itself forever without advancing its
+    traversal: an endless stream of drain events with a frozen progress
+    token.  Caught by the watchdog's no-progress budget.
+``dup_complete``
+    The victim job's completion runs twice.  Caught immediately by the
+    at-most-once check in ``RTACore._finish_job``.
+``lost_fetch``
+    One node fetch's response "never" arrives (completion pushed
+    ~1e12 cycles out).  Caught by the ``max_cycles`` budget — set one
+    when using this fault, otherwise the run terminates with an absurd
+    cycle count instead of aborting.
+``lost_response``
+    The memory system records a sector request whose response vanishes.
+    Caught by the end-of-run request/response balance invariant.
+
+Faults on these seams only exist on the *batched fast path*, so the
+legacy engine (``REPRO_SIM_CORE=legacy``) is naturally immune — which
+is what makes ``repro.exec``'s quarantine-then-retry-on-legacy
+degradation a genuine recovery, and what the exec-layer tests exploit.
+
+Entry points: :func:`install_fault` (one core, one plan),
+:func:`faulty_factory` (wrap an ``accelerator_factory``),
+:func:`install_env_faults` (parse ``$REPRO_FAULTS``, applied by
+``RTACore.__init__`` so faults reach worker processes through the
+environment), and :func:`corrupt_cache_entry` (damage a stored result
+so the exec cache's validate-on-read path can be exercised).
+
+``$REPRO_FAULTS`` grammar: semicolon-separated plans, each
+``kind[:query=<id>][:after=<n>][:sm=<id>|all]`` — e.g.
+``stall:query=7:sm=0`` or ``drop_wake;lost_response:sm=all``.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import FaultInjectionError
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+KINDS = ("drop_wake", "stall", "dup_complete", "lost_fetch",
+         "lost_response")
+
+#: Cycles between re-parks of a ``stall``\ ed job (arbitrary; small
+#: enough that the no-progress budget is reached quickly).
+STALL_REPARK_CYCLES = 64
+
+#: How far a ``lost_fetch`` pushes the response: far beyond any real
+#: run, but finite so an unguarded simulation still terminates.
+LOST_FETCH_DELAY = 10 ** 12
+
+
+@dataclass
+class FaultPlan:
+    """One fault: what to break, which job, and when.
+
+    ``query_id=None`` locks onto the first job to cross the seam;
+    ``after`` skips that many matching crossings first.  ``sm`` selects
+    which SM's accelerator the environment installer targets ("all"
+    for every core).
+    """
+
+    kind: str
+    query_id: Optional[int] = None
+    after: int = 0
+    sm: Union[int, str] = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.after < 0:
+            raise FaultInjectionError(f"after={self.after} must be >= 0")
+
+    def applies_to_sm(self, sm_id: int) -> bool:
+        return self.sm == "all" or self.sm == sm_id
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse one ``kind[:key=value]...`` plan from ``$REPRO_FAULTS``."""
+    parts = [p.strip() for p in text.strip().split(":") if p.strip()]
+    if not parts:
+        raise FaultInjectionError(f"empty fault plan in {text!r}")
+    kind, kwargs = parts[0], {}
+    for part in parts[1:]:
+        if "=" not in part:
+            raise FaultInjectionError(
+                f"fault option {part!r} is not key=value (in {text!r})")
+        name, _, value = part.partition("=")
+        if name == "query":
+            kwargs["query_id"] = int(value)
+        elif name == "after":
+            kwargs["after"] = int(value)
+        elif name == "sm":
+            kwargs["sm"] = "all" if value == "all" else int(value)
+        else:
+            raise FaultInjectionError(
+                f"unknown fault option {name!r} (in {text!r})")
+    return FaultPlan(kind, **kwargs)
+
+
+def parse_plans(text: str):
+    return [parse_plan(chunk) for chunk in text.split(";") if chunk.strip()]
+
+
+# -- per-seam installers ----------------------------------------------------------
+def _match_job(plan: FaultPlan, run, state: dict) -> bool:
+    """Does this seam crossing belong to the victim job?
+
+    Locks onto one query id on the first match so repeated-trigger
+    faults (``stall``) keep hitting the same job.
+    """
+    locked = state.get("locked")
+    if locked is not None:
+        return run.job.query_id == locked
+    if plan.query_id is not None and run.job.query_id != plan.query_id:
+        return False
+    if state["skip"] > 0:
+        state["skip"] -= 1
+        return False
+    state["locked"] = run.job.query_id
+    return True
+
+
+def _install_drop_wake(core, plan: FaultPlan, state: dict) -> None:
+    orig = core._wake_at
+
+    def wake_at(time, run):
+        if state["armed"] and _match_job(plan, run, state):
+            state["armed"] = False
+            run.at = time
+            # Park in a bucket with no drain event scheduled: the
+            # dropped wake.  An unoccupied cycle is chosen so that an
+            # already-scheduled drain cannot rescue the job (a later
+            # legitimate wake landing in this bucket is collateral —
+            # also dropped — which only deepens the stall).
+            cycle = int(time) + 1
+            while cycle in core._wake:
+                cycle += 1
+            core._wake[cycle] = [run]
+            return
+        orig(time, run)
+
+    core._wake_at = wake_at
+
+
+def _install_stall(core, plan: FaultPlan, state: dict) -> None:
+    orig = core._advance_job
+
+    def advance(run):
+        if _match_job(plan, run, state):
+            # Livelock: keep re-parking without touching the traversal,
+            # so events flow but the progress token never moves.
+            core._wake_at(run.at + STALL_REPARK_CYCLES, run)
+            return
+        orig(run)
+
+    core._advance_job = advance
+
+
+def _install_dup_complete(core, plan: FaultPlan, state: dict) -> None:
+    orig = core._finish_job
+
+    def finish(run):
+        orig(run)
+        if state["armed"] and _match_job(plan, run, state):
+            state["armed"] = False
+            orig(run)  # the duplicated completion
+
+    core._finish_job = finish
+
+
+def _install_lost_fetch(core, plan: FaultPlan, state: dict) -> None:
+    orig = core.mem.fetch
+
+    def fetch(now, address, size):
+        if state["armed"]:
+            if state["skip"] > 0:
+                state["skip"] -= 1
+            else:
+                state["armed"] = False
+                return now + LOST_FETCH_DELAY
+        return orig(now, address, size)
+
+    core.mem.fetch = fetch
+
+
+def _install_lost_response(core, plan: FaultPlan, state: dict) -> None:
+    orig = core.mem.fetch
+
+    def fetch(now, address, size):
+        done = orig(now, address, size)
+        if state["armed"]:
+            if state["skip"] > 0:
+                state["skip"] -= 1
+            else:
+                state["armed"] = False
+                # A request went out whose response vanished: the
+                # request/response balance invariant must notice.
+                core.mem.hierarchy.sector_requests += 1
+        return done
+
+    core.mem.fetch = fetch
+
+
+_INSTALLERS = {
+    "drop_wake": _install_drop_wake,
+    "stall": _install_stall,
+    "dup_complete": _install_dup_complete,
+    "lost_fetch": _install_lost_fetch,
+    "lost_response": _install_lost_response,
+}
+
+
+# -- public entry points -----------------------------------------------------------
+def install_fault(core, plan: FaultPlan) -> None:
+    """Arm one fault on one accelerator core (instance-level wrap)."""
+    if getattr(core, "_legacy", False):
+        # The seams being broken do not exist on the legacy per-job
+        # generator path; installing there would silently test nothing.
+        return
+    state = {"armed": True, "skip": plan.after, "locked": None}
+    _INSTALLERS[plan.kind](core, plan, state)
+
+
+def faulty_factory(base_factory, *plans: FaultPlan):
+    """Wrap an ``accelerator_factory`` so matching SMs get faulted cores.
+
+    Use with :class:`repro.gpu.GPU`::
+
+        gpu = GPU(cfg, accelerator_factory=faulty_factory(
+            make_rta_factory(), FaultPlan("stall", query_id=3)))
+    """
+
+    def factory(sm):
+        core = base_factory(sm)
+        for plan in plans:
+            if plan.applies_to_sm(sm.sm_id):
+                install_fault(core, plan)
+        return core
+
+    return factory
+
+
+def install_env_faults(core) -> None:
+    """Apply ``$REPRO_FAULTS`` plans to a freshly built core (called by
+    ``RTACore.__init__`` so faults propagate into exec workers)."""
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return
+    for plan in parse_plans(text):
+        if plan.applies_to_sm(core.sm.sm_id):
+            install_fault(core, plan)
+
+
+def corrupt_cache_entry(cache, spec, payload: bytes = b"\x00corrupt") -> str:
+    """Overwrite a stored result's pickle with garbage bytes.
+
+    Returns the damaged path (as str).  The exec cache's validate-on-
+    read must quarantine the entry and report a miss.
+    """
+    key = spec if isinstance(spec, str) else spec.key
+    pkl, _meta = cache._paths(key)
+    if not pkl.exists():
+        raise FaultInjectionError(f"no cache entry to corrupt for {key}")
+    with open(pkl, "wb") as fh:
+        fh.write(payload)
+    return str(pkl)

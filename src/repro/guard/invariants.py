@@ -1,0 +1,115 @@
+"""Conservation invariants over the simulation's bookkeeping.
+
+Three families, mirroring where work can silently leak in the batched
+driver (see ``rta/rta.py``):
+
+* **Job conservation** — every `TraversalJob` handed to ``submit``
+  completes exactly once.  The *at-most-once* half is enforced inline
+  (``_finish_job`` raises on a duplicate completion); the *at-least-
+  once* half is checked here: launched == completed, no query id left
+  in a core's pending set, no job stranded in a wake bucket or the
+  admission queue.
+* **Resource conservation** — every warp-buffer slot claimed is
+  vacated; every launched warp retires.
+* **Memory balance** — every sector request produced a response
+  (``MemoryHierarchy`` counts both sides).
+
+``check_balance`` runs the cheap subset at watchdog checkpoints in
+strict mode ("per-epoch"): mid-run the counters need not be equal, but
+completions can never exceed launches and a warp buffer can never go
+negative or overflow.
+"""
+
+from typing import Optional
+
+from repro.errors import InvariantViolation
+
+
+def quiescence_report(guard) -> Optional[str]:
+    """Describe pending work after the event queue drained, or None.
+
+    This is the watchdog's end-of-run stall check (all modes): a
+    dropped wake does not spin — the simulation simply goes quiet with
+    traversals still in flight — so it can only be seen here.
+    """
+    for core in guard.cores:
+        in_flight = core.jobs_launched - core.jobs_completed
+        if in_flight > 0:
+            stuck = sorted(core._pending)[:8]
+            return (f"accelerator sm{core.sm.sm_id}: {in_flight} traversal "
+                    f"job(s) never completed (query ids {stuck})")
+        if core._wake:
+            cycles = sorted(core._wake)[:8]
+            return (f"accelerator sm{core.sm.sm_id}: undrained wake "
+                    f"bucket(s) at cycle(s) {cycles}")
+        if core._admit_queue:
+            head = core._admit_queue[0]
+            return (f"accelerator sm{core.sm.sm_id}: "
+                    f"{len(core._admit_queue)} job(s) still queued for "
+                    f"admission (head: query {head.job.query_id})")
+    if guard.n_warps:
+        retired = sum(sm._done_count for sm in guard.sms)
+        if retired < guard.n_warps:
+            return (f"{guard.n_warps - retired} of {guard.n_warps} warps "
+                    "never retired")
+    return None
+
+
+def check_conservation(guard) -> None:
+    """End-of-run conservation invariants (``on``/``strict`` modes)."""
+    for core in guard.cores:
+        if core.jobs_completed != core.jobs_launched:
+            raise InvariantViolation(
+                f"accelerator sm{core.sm.sm_id}: {core.jobs_launched} jobs "
+                f"launched but {core.jobs_completed} completed",
+                guard.bundle("job-conservation"),
+            )
+        if core._pending:
+            raise InvariantViolation(
+                f"accelerator sm{core.sm.sm_id}: query ids "
+                f"{sorted(core._pending)[:8]} still pending after all jobs "
+                "counted complete",
+                guard.bundle("job-conservation"),
+            )
+        in_use = core.warp_buffer._in_use
+        if in_use != 0:
+            raise InvariantViolation(
+                f"accelerator sm{core.sm.sm_id}: warp buffer leaked "
+                f"{in_use} ray slot(s) (capacity "
+                f"{core.warp_buffer.capacity})",
+                guard.bundle("warp-buffer-leak"),
+            )
+    hierarchy = guard.hierarchy
+    if hierarchy is not None:
+        if hierarchy.sector_responses != hierarchy.sector_requests:
+            raise InvariantViolation(
+                f"memory system: {hierarchy.sector_requests} sector "
+                f"requests but {hierarchy.sector_responses} responses",
+                guard.bundle("memsys-balance"),
+            )
+
+
+def check_balance(guard) -> None:
+    """Mid-run ("per-epoch") balance checks, strict mode only."""
+    for core in guard.cores:
+        if core.jobs_completed > core.jobs_launched:
+            raise InvariantViolation(
+                f"accelerator sm{core.sm.sm_id}: {core.jobs_completed} "
+                f"completions exceed {core.jobs_launched} launches",
+                guard.bundle("job-balance"),
+            )
+        in_use = core.warp_buffer._in_use
+        if in_use < 0 or in_use > core.warp_buffer.capacity:
+            raise InvariantViolation(
+                f"accelerator sm{core.sm.sm_id}: warp buffer occupancy "
+                f"{in_use} outside [0, {core.warp_buffer.capacity}]",
+                guard.bundle("warp-buffer-balance"),
+            )
+    hierarchy = guard.hierarchy
+    if hierarchy is not None:
+        if hierarchy.sector_responses > hierarchy.sector_requests:
+            raise InvariantViolation(
+                f"memory system: {hierarchy.sector_responses} responses "
+                f"exceed {hierarchy.sector_requests} requests",
+                guard.bundle("memsys-balance"),
+            )

@@ -32,6 +32,7 @@ class MemoryHierarchy:
         #: line address -> completion time of the in-flight fill
         self._inflight: Dict[int, float] = {}
         self.sector_requests = 0
+        self.sector_responses = 0
         self.mshr_merges = 0
 
     def make_l1(self, sm_id: int) -> Cache:
@@ -44,10 +45,15 @@ class MemoryHierarchy:
         """Serve a list of sector reads; return when the *last* one is ready."""
         ready = now
         access_one = self._access_one
+        served = 0
         for sector in sector_addrs:
             done = access_one(now, l1, sector)
+            served += 1
             if done > ready:
                 ready = done
+        # Request/response conservation (repro.guard): every sector
+        # request issued above produced a completion time.
+        self.sector_responses += served
         return ready
 
     def access(self, now: float, l1: Cache,
@@ -77,6 +83,14 @@ class MemoryHierarchy:
         done = self.dram.transfer(l2_ready, cfg.line_size) + cfg.dram_latency
         self._inflight[line] = done
         return done
+
+    # -- guard interface -----------------------------------------------------
+    def guard_state(self) -> dict:
+        return {
+            "sector_requests": self.sector_requests,
+            "sector_responses": self.sector_responses,
+            "inflight_lines": len(self._inflight),
+        }
 
     # -- statistics ----------------------------------------------------------
     def dram_utilization(self, end: float) -> float:

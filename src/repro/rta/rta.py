@@ -24,10 +24,11 @@ The submission's signal fires when all of its jobs complete, resuming
 the launching warp.
 """
 
+import os
 from collections import deque
 from typing import Iterable, List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantViolation
 from repro.rta.mem_scheduler import RTAMemScheduler
 from repro.rta.traversal import Step, TraversalJob
 from repro.rta.units import FixedFunctionBackend
@@ -62,7 +63,7 @@ class _JobRun:
     """
 
     __slots__ = ("job", "steps", "idx", "begin", "batch", "chain", "at",
-                 "fetched")
+                 "fetched", "done")
 
     def __init__(self, job, batch, begin):
         self.job = job
@@ -73,6 +74,7 @@ class _JobRun:
         self.chain = None  # in-flight TTA+ µop chain, if any
         self.at = begin
         self.fetched = False  # current step's node fetch has completed
+        self.done = False  # completion latch (at-most-once invariant)
 
 
 class RTACore:
@@ -98,6 +100,8 @@ class RTACore:
                                    self.config.mem_scheduler_reqs_per_cycle)
         self.traversal_latency = LatencySampler()
         self.jobs_completed = 0
+        self.jobs_launched = 0
+        self.steps_advanced = 0  # guard progress counter (monotone)
         self.shader_bounces = 0
         self.shader_cycles = 0.0
         self._busy_jobs = 0
@@ -105,12 +109,18 @@ class RTACore:
         self._chained = hasattr(backend, "begin_chain")
         self._admit_queue = deque()
         self._wake: dict = {}  # cycle -> [_JobRun, ...] awaiting that cycle
+        self._pending: set = set()  # query ids launched but not completed
+        if os.environ.get("REPRO_FAULTS"):
+            from repro.guard.faults import install_env_faults
+            install_env_faults(self)
 
     # -- submission interface (matches gpu.sm expectations) ---------------------
     def submit(self, now: float, jobs: Iterable[TraversalJob]):
         jobs = list(jobs)
         if not jobs:
             raise ConfigurationError("empty accelerator submission")
+        self.jobs_launched += len(jobs)
+        self._pending.update(job.query_id for job in jobs)
         done_signal = self.sim.signal()
         launch_at = now + self.config.rta_issue_overhead
         if self._legacy:
@@ -138,6 +148,7 @@ class RTACore:
                 advance(run)
 
     def _advance_job(self, run: _JobRun) -> None:
+        self.steps_advanced += 1
         backend = self.backend
         warp_buffer = self.warp_buffer
         fetch = self.mem.fetch
@@ -234,11 +245,24 @@ class RTACore:
             advance(run)
 
     def _finish_job(self, run: _JobRun) -> None:
+        if run.done:
+            # At-most-once completion: a duplicated finish would vacate
+            # a warp-buffer slot twice and double-count the batch.
+            diagnostics = {"reason": "duplicate-completion",
+                           "cycle": self.sim.now}
+            diagnostics.update(self.guard_state())
+            raise InvariantViolation(
+                f"job {run.job.query_id} completed twice on "
+                f"sm{self.sm.sm_id}'s accelerator",
+                diagnostics,
+            )
+        run.done = True
         now = run.at  # analytic completion time (≤ the engine cycle)
         warp_buffer = self.warp_buffer
         warp_buffer.vacate(now)
         self.traversal_latency.sample(now - run.begin)
         self.jobs_completed += 1
+        self._pending.discard(run.job.query_id)
         batch = run.batch
         batch.remaining -= 1
         if batch.remaining == 0:
@@ -288,6 +312,7 @@ class RTACore:
                 if ready > sim.now:
                     yield ready - sim.now
             self.warp_buffer.record_access(reads=2, writes=1)
+            self.steps_advanced += 1
             if step.op == "shader":
                 yield from self._run_shader(step)
             else:
@@ -295,6 +320,7 @@ class RTACore:
         self.warp_buffer.release()
         self.traversal_latency.sample(sim.now - begin)
         self.jobs_completed += 1
+        self._pending.discard(job.query_id)
         state["remaining"] -= 1
         if state["remaining"] == 0:
             done_signal.fire([j.result for j in jobs])
@@ -320,6 +346,46 @@ class RTACore:
         self.sm.stats.count_compute("shader", insts / warp_size, warp_size,
                                     warp_size)
         yield done - sim.now
+
+    # -- guard interface ----------------------------------------------------------
+    def guard_state(self) -> dict:
+        """JSON-serializable occupancy snapshot for diagnostic bundles."""
+        state = {
+            "sm": self.sm.sm_id,
+            "jobs_launched": self.jobs_launched,
+            "jobs_completed": self.jobs_completed,
+            "in_flight": self.jobs_launched - self.jobs_completed,
+            "steps_advanced": self.steps_advanced,
+            "stuck_jobs": sorted(self._pending)[:16],
+            "admit_queue": len(self._admit_queue),
+            "wake_buckets": {str(cycle): len(runs)
+                             for cycle, runs in sorted(self._wake.items())[:16]},
+        }
+        state.update(self.warp_buffer.guard_state())
+        return state
+
+    def guard_parked(self, now, park_cycles: int):
+        """Describe work parked past its budget, or None.
+
+        A wake bucket whose cycle has already passed means its drain
+        event was dropped — flagged regardless of budget.  A job at the
+        head of the admission queue is allowed to wait ``park_cycles``
+        (legitimate under a saturated warp buffer) before being flagged.
+        """
+        if self._wake:
+            stale = min(self._wake)
+            if stale < now:
+                return (f"accelerator sm{self.sm.sm_id}: wake bucket at "
+                        f"cycle {stale} ({len(self._wake[stale])} job(s)) "
+                        f"was never drained (now={now})")
+        if self._admit_queue:
+            head = self._admit_queue[0]
+            waited = now - head.begin
+            if waited > park_cycles:
+                return (f"accelerator sm{self.sm.sm_id}: job "
+                        f"{head.job.query_id} parked in the admission queue "
+                        f"for {waited:.0f} cycles (budget {park_cycles})")
+        return None
 
     # -- statistics ---------------------------------------------------------------
     def snapshot(self, end: float) -> dict:

@@ -73,6 +73,16 @@ class WarpBuffer:
         self.reads += reads
         self.writes += writes
 
+    def guard_state(self) -> dict:
+        """Occupancy for diagnostic bundles and the drain invariant: a
+        non-zero ``warp_buffer_in_use`` after all jobs completed means a
+        ray slot leaked."""
+        return {
+            "warp_buffer_in_use": self._in_use,
+            "warp_buffer_capacity": self.capacity,
+            "warp_buffer_waiters": len(self._waiters),
+        }
+
     def snapshot(self, end: float) -> dict:
         return {
             "warp_buffer_reads": self.reads,

@@ -130,7 +130,7 @@ class Simulator:
     legacy_core = False
 
     __slots__ = ("now", "_ready", "_ri", "_buckets", "_cycle_heap",
-                 "_events_processed")
+                 "_events_processed", "guard")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -139,6 +139,11 @@ class Simulator:
         self._buckets: dict = {}     # future cycle -> [(fn, args), ...]
         self._cycle_heap: list = []  # distinct occupied future cycles
         self._events_processed = 0
+        #: Optional repro.guard.Guard; set via Guard.attach().  The
+        #: guard never schedules events — run() calls into it at event
+        #: checkpoints and cycle advances, so an attached guard cannot
+        #: change event order, the final time, or any statistic.
+        self.guard = None
 
     # -- event interface -------------------------------------------------
     def call_at(self, time, fn: Callable, *args: Any) -> None:
@@ -257,6 +262,13 @@ class Simulator:
         processed = self._events_processed
         ready = self._ready
         i = self._ri
+        guard = self.guard
+        if guard is not None:
+            cycle_cap = guard.cycle_cap
+            check_at = guard.event_checkpoint(processed)
+        else:
+            cycle_cap = None
+            check_at = None
         try:
             while True:
                 # Drain the current cycle FIFO; handlers may append more.
@@ -269,6 +281,12 @@ class Simulator:
                         raise SimulationError(
                             f"exceeded max_events={max_events} at t={self.now}"
                         )
+                    if check_at is not None and processed >= check_at:
+                        # Watchdog checkpoint (may raise); piggybacks on
+                        # the per-event counter so guard-off runs pay
+                        # one is-None branch and nothing else.
+                        self._events_processed = processed
+                        check_at = guard.on_events(processed, self.now)
                 if not cycle_heap:
                     break
                 time = cycle_heap[0]
@@ -277,6 +295,9 @@ class Simulator:
                     break
                 heappop(cycle_heap)
                 self.now = time
+                if cycle_cap is not None and time > cycle_cap:
+                    self._events_processed = processed
+                    guard.on_cycle_budget(time)
                 ready = self._ready = buckets.pop(time)
                 i = 0
         finally:

@@ -33,6 +33,9 @@ class HeapSimulator:
         self._queue = []
         self._seq = 0
         self._events_processed = 0
+        #: Optional repro.guard.Guard (same hook contract as the fast
+        #: core): purely observational, never schedules events.
+        self.guard = None
 
     # -- event interface -------------------------------------------------
     def call_at(self, time: float, fn: Callable, *args: Any) -> None:
@@ -90,6 +93,13 @@ class HeapSimulator:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
         """Drain the event queue; return the final simulation time."""
+        guard = self.guard
+        if guard is not None:
+            cycle_cap = guard.cycle_cap
+            check_at = guard.event_checkpoint(self._events_processed)
+        else:
+            cycle_cap = None
+            check_at = None
         while self._queue:
             time, _seq, fn, args = self._queue[0]
             if until is not None and time > until:
@@ -97,12 +107,16 @@ class HeapSimulator:
                 break
             heapq.heappop(self._queue)
             self.now = time
+            if cycle_cap is not None and time > cycle_cap:
+                guard.on_cycle_budget(time)
             fn(*args)
             self._events_processed += 1
             if max_events is not None and self._events_processed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at t={self.now}"
                 )
+            if check_at is not None and self._events_processed >= check_at:
+                check_at = guard.on_events(self._events_processed, self.now)
         return self.now
 
     @property

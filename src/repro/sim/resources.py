@@ -25,17 +25,39 @@ class Timeline:
     utilization reporting.
     """
 
-    __slots__ = ("name", "_next_free", "_busy", "requests")
+    __slots__ = ("name", "_next_free", "_busy", "requests", "_order_guard")
 
     def __init__(self, name: str = "timeline"):
         self.name = name
         self._next_free = 0.0
         self._busy = 0.0
         self.requests = 0
+        # [guard, tolerance, latest arrival] when order checking is on
+        # (REPRO_GUARD=strict), else None: a single is-None branch on
+        # the hot path.
+        self._order_guard = None
+
+    def enable_order_check(self, guard, tolerance: float = 1.0 + 1e-6):
+        """Verify acquisitions arrive in FIFO order (within tolerance).
+
+        The batched driver's analytic clocks legitimately jitter within
+        one engine cycle (jobs draining from the same wake bucket carry
+        exact float times <= the bucket's cycle), hence the default
+        one-cycle tolerance.  ``guard.order_violation`` is called with
+        the offending times; it raises.
+        """
+        self._order_guard = [guard, tolerance, float("-inf")]
 
     def acquire(self, now: float, service: float) -> float:
         if service < 0:
             raise SimulationError(f"{self.name}: negative service {service}")
+        og = self._order_guard
+        if og is not None:
+            last = og[2]
+            if now < last - og[1]:
+                og[0].order_violation(self.name, now, last)
+            elif now > last:
+                og[2] = now
         start = self._next_free
         if now > start:
             start = now

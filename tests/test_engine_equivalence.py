@@ -148,6 +148,69 @@ class TestEndToEndEquivalence:
             legacy.stats.accel_stats["jobs_completed"]
 
 
+class TestDegenerateEquivalence:
+    """Degenerate traversal batches: both engines must terminate
+    cleanly with identical functional results and matching stats."""
+
+    @staticmethod
+    def _launch_jobs(jobs, mode, monkeypatch, guard=None):
+        from repro.gpu import GPU, AccelCall, GPUConfig
+        from repro.rta.rta import make_rta_factory
+
+        monkeypatch.setenv("REPRO_SIM_CORE", mode)
+        out = {}
+
+        def kernel(tid, args):
+            r = yield AccelCall(jobs[tid], tag=0)
+            args[tid] = r
+
+        gpu = GPU(GPUConfig(n_sms=1),
+                  accelerator_factory=make_rta_factory())
+        stats = gpu.launch(kernel, len(jobs), args=out, guard=guard)
+        return stats, out
+
+    @staticmethod
+    def _duplicate_jobs():
+        from repro.rta.traversal import Step, TraversalJob
+        steps = [Step(0, 64, "box"), Step(64, 64, "box")]
+        return [TraversalJob(i, list(steps), i) for i in range(64)]
+
+    @staticmethod
+    def _all_miss_jobs():
+        from repro.rta.traversal import Step, TraversalJob
+        return [TraversalJob(i, [Step((i * 11 + s) << 20, 64, "box")
+                                 for s in range(8)], i)
+                for i in range(32)]
+
+    @pytest.mark.parametrize("batch", ["duplicates", "all_miss"])
+    def test_same_results_and_stats(self, batch, monkeypatch):
+        jobs = (self._duplicate_jobs() if batch == "duplicates"
+                else self._all_miss_jobs())
+        fast, fast_out = self._launch_jobs(jobs, "fast", monkeypatch)
+        legacy, legacy_out = self._launch_jobs(jobs, "legacy", monkeypatch)
+        assert fast_out == legacy_out
+        assert fast.accel_stats["jobs_completed"] == \
+            legacy.accel_stats["jobs_completed"] == len(jobs)
+        assert fast.accel_stats["node_fetches"] == \
+            legacy.accel_stats["node_fetches"]
+        assert float(fast.cycles) == pytest.approx(float(legacy.cycles),
+                                                   rel=0.05)
+
+    def test_max_cycles_aborts_on_both_engines(self, monkeypatch):
+        from repro.errors import SimulationStallError
+        from repro.guard import Guard, GuardConfig
+        from repro.rta.traversal import Step, TraversalJob
+
+        jobs = [TraversalJob(i, [Step(64 * s, 64, "box")
+                                 for s in range(50)], i)
+                for i in range(32)]
+        for mode in ("fast", "legacy"):
+            with pytest.raises(SimulationStallError) as err:
+                self._launch_jobs(jobs, mode, monkeypatch,
+                                  guard=Guard(GuardConfig(max_cycles=100)))
+            assert err.value.diagnostics["reason"] == "cycle-budget"
+
+
 class TestFastEngineAPI:
     def test_non_integral_call_at_rejected(self):
         sim = Simulator()

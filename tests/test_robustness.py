@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import SimulationStallError
 from repro.gpu import GPU, AccelCall, Compute, GPUConfig, Load
+from repro.guard import Guard, GuardConfig
 from repro.harness.runner import run_btree, scaled_config_for
 from repro.rta.rta import make_rta_factory
 from repro.rta.traversal import Step, TraversalJob
@@ -82,6 +84,19 @@ class TestExtremeConfigs:
         assert scaled is not base
 
 
+def _launch_jobs(jobs, guard=None):
+    """Run one explicit job batch through a single-SM RTA GPU."""
+    out = {}
+
+    def kernel(tid, args):
+        r = yield AccelCall(jobs[tid], tag=0)
+        args[tid] = r
+
+    gpu = GPU(GPUConfig(n_sms=1), accelerator_factory=make_rta_factory())
+    stats = gpu.launch(kernel, len(jobs), args=out, guard=guard)
+    return stats, out
+
+
 class TestAccelRobustness:
     def test_job_with_single_step(self):
         out = {}
@@ -120,6 +135,53 @@ class TestAccelRobustness:
         stats = gpu.launch(kernel, 32)
         assert stats.warp_instructions.get("tta") == 1
         assert stats.warp_instructions.get("alu") == 100
+
+    def test_empty_query_batch_terminates_cleanly(self):
+        # An accelerator is attached but no warp ever calls it; the
+        # guard's end-of-run conservation (0 launched == 0 completed)
+        # must hold and nothing may linger.
+        def kernel(tid, args):
+            yield Compute(3, tag=0)
+
+        gpu = GPU(GPUConfig(n_sms=1),
+                  accelerator_factory=make_rta_factory())
+        stats = gpu.launch(kernel, 32,
+                           guard=Guard(GuardConfig(mode="strict",
+                                                   check_events=1_000)))
+        assert stats.accel_stats["jobs_completed"] == 0
+        assert stats.cycles > 0
+
+    def test_all_duplicate_key_jobs(self):
+        # Every query traverses the identical node sequence: maximal
+        # cache/warp-buffer contention on one address stream.
+        steps = [Step(0, 64, "box"), Step(64, 64, "box")]
+        jobs = [TraversalJob(i, list(steps), i) for i in range(64)]
+        stats, out = _launch_jobs(jobs)
+        assert out == {i: i for i in range(64)}
+        assert stats.accel_stats["jobs_completed"] == 64
+
+    def test_all_miss_job(self):
+        # Addresses strided far beyond every cache: each fetch is a
+        # fresh miss all the way to DRAM.
+        jobs = [TraversalJob(i, [Step((i * 11 + s) << 20, 64, "box")
+                                 for s in range(8)], i)
+                for i in range(32)]
+        stats, out = _launch_jobs(jobs)
+        assert out == {i: i for i in range(32)}
+        assert stats.accel_stats["node_fetches"] == 32 * 8
+        # No reuse across fetches: only the intra-fetch second sector
+        # of each 64-byte node can hit its own line.
+        assert stats.l1_hit_rate <= 0.5
+
+    def test_max_cycles_exhaustion_aborts_cleanly(self):
+        # A tiny cycle budget turns a healthy run into a structured
+        # abort (never a hang): SimulationStallError with a bundle.
+        jobs = [TraversalJob(i, [Step(64 * s, 64, "box")
+                                 for s in range(50)], i)
+                for i in range(32)]
+        with pytest.raises(SimulationStallError) as err:
+            _launch_jobs(jobs, guard=Guard(GuardConfig(max_cycles=100)))
+        assert err.value.diagnostics["reason"] == "cycle-budget"
 
     def test_prefetch_depth_does_not_change_results(self):
         wl = make_btree_workload("btree", n_keys=512, n_queries=128, seed=4)
