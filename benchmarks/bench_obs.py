@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Overhead benchmark of repro.obs tracing → ``BENCH_obs.json``.
+
+Measures the Fig. 12 workload points (the same set as
+``bench_perf_core.py``, steady-state fast-engine regime) under three
+tracing regimes:
+
+* ``off_s`` — tracing disabled: the emit points cost one is-None
+  branch each.  The **overhead contract** bounds this at ≤ 1% against
+  the pre-obs ``BENCH_core.json`` baseline (``--baseline``; CI
+  compares against a fresh ``BENCH_core_ci.json`` measured on the same
+  machine in the same job).
+* ``sampled_s`` — tracing on at rate 16 (keep every 16th event):
+  bounded at ≤ 10% over this run's own ``off_s``.
+* ``full_s`` — tracing on, every event kept: reported for reference,
+  not bounded.
+
+The minimum over repetitions is reported, regimes interleaved within
+each repetition, so machine drift cannot bias the comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --out BENCH_obs.json --scale smoke --reps 3 \
+        --baseline BENCH_core.json --assert-off --assert-sampled
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(_ROOT / "src"))
+if str(_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+
+from bench_perf_core import SCALES, _points, _timed  # noqa: E402
+
+from repro import __version__, obs  # noqa: E402
+from repro.sim import scheduler_fingerprint  # noqa: E402
+
+#: The contract's sampled-tracing rate.
+SAMPLE_RATE = 16
+
+
+def bench_points(scale: str, reps: int) -> dict:
+    out = {}
+    for name, make, run in _points(SCALES[scale]):
+        wl = make()
+        run(wl)  # populate the replay/lowering caches (untimed)
+        off, sampled, full = [], [], []
+        events_kept = [0]
+
+        def run_off():
+            obs.reset()
+            off.append(_timed(lambda: run(wl)))
+
+        def run_sampled():
+            obs.enable(rate=SAMPLE_RATE)
+            try:
+                sampled.append(_timed(lambda: run(wl)))
+            finally:
+                obs.reset()
+
+        def run_full():
+            tracer = obs.enable()
+            try:
+                full.append(_timed(lambda: run(wl)))
+                events_kept[0] = tracer.events_kept
+            finally:
+                obs.reset()
+
+        # Rotate the regime order every repetition: a machine that is
+        # monotonically slowing down (thermal throttling, noisy
+        # neighbours) would otherwise systematically inflate whichever
+        # regime always ran last within the rep.
+        regimes = (run_off, run_sampled, run_full)
+        for rep in range(reps):
+            for k in range(3):
+                regimes[(rep + k) % 3]()
+        events_kept = events_kept[0]
+        entry = {
+            "off_s": min(off),
+            "sampled_s": min(sampled),
+            "full_s": min(full),
+            "off_reps": off,
+            "sampled_reps": sampled,
+            "full_reps": full,
+            "full_events": events_kept,
+        }
+        entry["sampled_overhead_pct"] = \
+            (entry["sampled_s"] / entry["off_s"] - 1.0) * 100.0
+        entry["full_overhead_pct"] = \
+            (entry["full_s"] / entry["off_s"] - 1.0) * 100.0
+        out[name] = entry
+        print(f"{name:16s} off {entry['off_s']:.3f}s  "
+              f"sampled {entry['sampled_s']:.3f}s "
+              f"(+{entry['sampled_overhead_pct']:.1f}%)  "
+              f"full {entry['full_s']:.3f}s "
+              f"(+{entry['full_overhead_pct']:.1f}%, "
+              f"{events_kept} events)", file=sys.stderr)
+    return out
+
+
+def fold_baseline(points: dict, baseline_path: pathlib.Path) -> dict:
+    """Per-point and total off-overhead vs a BENCH_core ``fast_s`` run.
+
+    Returns an empty dict (and prints a note) when the baseline file is
+    missing or its points don't match — the off/sampled comparison
+    within this run still stands on its own.
+    """
+    try:
+        doc = json.loads(baseline_path.read_text())
+        base_points = doc["fig12_points"]
+    except (OSError, ValueError, KeyError):
+        print(f"[bench_obs] no usable baseline at {baseline_path}; "
+              f"skipping tracing-off comparison", file=sys.stderr)
+        return {}
+    shared = [n for n in points if n in base_points]
+    if not shared:
+        print(f"[bench_obs] baseline {baseline_path} shares no points; "
+              f"skipping tracing-off comparison", file=sys.stderr)
+        return {}
+    for name in shared:
+        base = base_points[name]["fast_s"]
+        points[name]["baseline_fast_s"] = base
+        points[name]["off_overhead_pct"] = \
+            (points[name]["off_s"] / base - 1.0) * 100.0
+    off_total = sum(points[n]["off_s"] for n in shared)
+    base_total = sum(points[n]["baseline_fast_s"] for n in shared)
+    return {
+        "path": str(baseline_path),
+        "points_compared": len(shared),
+        "baseline_total_s": base_total,
+        "off_total_s": off_total,
+        "off_overhead_pct": (off_total / base_total - 1.0) * 100.0,
+    }
+
+
+def aggregate(points: dict) -> dict:
+    off = sum(p["off_s"] for p in points.values())
+    sampled = sum(p["sampled_s"] for p in points.values())
+    full = sum(p["full_s"] for p in points.values())
+    return {
+        "off_total_s": off,
+        "sampled_total_s": sampled,
+        "full_total_s": full,
+        "sampled_overhead_pct": (sampled / off - 1.0) * 100.0,
+        "full_overhead_pct": (full / off - 1.0) * 100.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(_ROOT / "BENCH_obs.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per regime (min is reported)")
+    parser.add_argument("--baseline",
+                        default=str(_ROOT / "BENCH_core.json"),
+                        help="BENCH_core.json to compare tracing-off "
+                             "against (default: repo root)")
+    parser.add_argument("--assert-off", action="store_true",
+                        help="exit 1 when tracing-off overhead vs the "
+                             "baseline exceeds --off-bound")
+    parser.add_argument("--assert-sampled", action="store_true",
+                        help="exit 1 when sampled-tracing overhead "
+                             "exceeds --sampled-bound")
+    parser.add_argument("--off-bound", type=float, default=1.0,
+                        metavar="PCT", help="tracing-off bound (default 1)")
+    parser.add_argument("--sampled-bound", type=float, default=10.0,
+                        metavar="PCT",
+                        help="sampled-tracing bound (default 10)")
+    args = parser.parse_args(argv)
+
+    points = bench_points(args.scale, args.reps)
+    agg = aggregate(points)
+    baseline = fold_baseline(points, pathlib.Path(args.baseline))
+    report = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "package_version": __version__,
+        "scheduler_fingerprint": scheduler_fingerprint(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": args.scale,
+        "reps": args.reps,
+        "sample_rate": SAMPLE_RATE,
+        "bounds": {"off_pct": args.off_bound,
+                   "sampled_pct": args.sampled_bound},
+        "points": points,
+        "aggregate": agg,
+        "baseline": baseline,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    summary = (f"total: off {agg['off_total_s']:.3f}s  "
+               f"sampled +{agg['sampled_overhead_pct']:.1f}%  "
+               f"full +{agg['full_overhead_pct']:.1f}%")
+    if baseline:
+        summary += f"  off-vs-baseline {baseline['off_overhead_pct']:+.1f}%"
+    print(summary, file=sys.stderr)
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    failed = False
+    if args.assert_off:
+        if not baseline:
+            print("[bench_obs] --assert-off needs a usable --baseline",
+                  file=sys.stderr)
+            failed = True
+        elif baseline["off_overhead_pct"] > args.off_bound:
+            print(f"[bench_obs] FAIL tracing-off overhead "
+                  f"{baseline['off_overhead_pct']:.2f}% > "
+                  f"{args.off_bound}%", file=sys.stderr)
+            failed = True
+    if args.assert_sampled and \
+            agg["sampled_overhead_pct"] > args.sampled_bound:
+        print(f"[bench_obs] FAIL sampled-tracing overhead "
+              f"{agg['sampled_overhead_pct']:.2f}% > "
+              f"{args.sampled_bound}%", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

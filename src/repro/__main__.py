@@ -6,6 +6,8 @@ Examples::
     python -m repro run fig12 --jobs 4
     python -m repro run fig12 fig13 --scale large --csv-dir results/
     python -m repro run all --scale smoke --no-cache
+    python -m repro run fig13 --metrics-out results/fig13.metrics.json
+    python -m repro trace fig12 --scale smoke -o trace.json
     python -m repro sweep btree --param n_keys=4096,16384 --jobs 4
     python -m repro cache stats
     python -m repro cache clear
@@ -109,8 +111,57 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run each experiment under cProfile and print "
                           "the top-25 cumulative-time entries (profiles "
                           "this process: use with --jobs 1)")
+    run.add_argument("--profile-out", type=pathlib.Path, default=None,
+                     metavar="PATH",
+                     help="write the cProfile data as a pstats dump to "
+                          "PATH instead of printing the top-25 (a bare "
+                          "filename lands beside --json-dir output; "
+                          "implies --profile)")
+    run.add_argument("--trace", type=pathlib.Path, default=None,
+                     metavar="PATH",
+                     help="record a cycle-domain event trace and write "
+                          "it to PATH as Chrome/Perfetto trace JSON "
+                          "(forces --jobs 1 and --no-cache so every "
+                          "point simulates in this process)")
+    run.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                     metavar="PATH",
+                     help="write every point's repro.obs metrics "
+                          "snapshot (label -> metrics) as JSON to PATH")
     _add_output_options(run)
     _add_exec_options(run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with the cycle tracer on and export a "
+             "Chrome/Perfetto trace")
+    trace.add_argument("experiment", help="experiment name")
+    trace.add_argument("--scale",
+                       default=os.environ.get("REPRO_SCALE", "smoke"),
+                       choices=sorted(experiments.SCALES),
+                       help="workload scale (default: $REPRO_SCALE or "
+                            "smoke; traces grow with scale)")
+    trace.add_argument("--out", "-o", type=pathlib.Path,
+                       default=pathlib.Path("trace.json"), metavar="PATH",
+                       help="trace output path (default: trace.json)")
+    trace.add_argument("--rate", type=int, default=1, metavar="N",
+                       help="keep every Nth event (default 1 = all)")
+    trace.add_argument("--events", type=int, default=None, metavar="N",
+                       help="ring capacity in events (default: "
+                            "$REPRO_TRACE_EVENTS or 1,000,000)")
+    trace.add_argument("--categories", default=None, metavar="C1,C2,...",
+                       help="categories to keep (scheduler,sm,rta,memsys; "
+                            "default: all)")
+    trace.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="also write the points' metrics snapshots "
+                            "as JSON to PATH")
+    trace.add_argument("--guard", default=None,
+                       choices=("off", "watch", "on", "strict"),
+                       help="simulation guard mode (default: $REPRO_GUARD "
+                            "or on)")
+    trace.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                       help="abort any simulation whose clock passes N "
+                            "cycles")
 
     sweep = sub.add_parser(
         "sweep",
@@ -192,10 +243,42 @@ def _emit_table(name: str, table, *, json_out: bool, csv_dir, json_dir,
         (json_dir / f"{name}.json").write_text(table.to_json())
 
 
+def _pin_tracer(rate: int = None, events: int = None, categories=None):
+    """Build and pin a tracer; explicit arguments beat the env knobs."""
+    from repro import obs
+
+    if rate is None:
+        rate = int(os.environ.get(obs.TRACE_RATE_ENV, "1") or "1")
+    if events is None:
+        events = int(os.environ.get(obs.TRACE_EVENTS_ENV, "0") or 0) \
+            or obs.DEFAULT_CAPACITY
+    if isinstance(categories, str):
+        categories = [c.strip() for c in categories.split(",") if c.strip()]
+    return obs.enable(capacity=events, rate=rate,
+                      categories=categories or None)
+
+
+def _profile_path(profile_out: pathlib.Path, name: str, many: bool,
+                  json_dir) -> pathlib.Path:
+    """Where one experiment's pstats dump goes.
+
+    A bare filename lands beside the ``--json-dir`` output when that is
+    set; with several experiments each gets ``<stem>-<name><suffix>``
+    so the dumps don't overwrite each other.
+    """
+    if json_dir is not None and profile_out.parent == pathlib.Path("."):
+        profile_out = pathlib.Path(json_dir) / profile_out
+    if many:
+        profile_out = profile_out.with_name(
+            f"{profile_out.stem}-{name}{profile_out.suffix or '.pstats'}")
+    return profile_out
+
+
 def cmd_run(names, scale: str, csv_dir, plot: bool = False,
             jobs: int = 1, no_cache: bool = False, timeout=None,
             json_dir=None, json_out: bool = False,
-            profile: bool = False) -> int:
+            profile: bool = False, profile_out=None,
+            trace=None, metrics_out=None) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -203,33 +286,103 @@ def cmd_run(names, scale: str, csv_dir, plot: bool = False,
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+    profile = profile or profile_out is not None
+    tracer = None
+    if trace is not None:
+        # Cached or pooled points never emit events into this process's
+        # ring, so a traced run is forced serial and cache-free.
+        if jobs > 1 or not no_cache:
+            print("[obs] --trace forces --jobs 1 --no-cache",
+                  file=sys.stderr)
+        jobs, no_cache = 1, True
+        tracer = _pin_tracer()
     service = _configure_service(jobs, no_cache, timeout)
-    for name in names:
+    metrics_report = {}
+    try:
+        for name in names:
+            started = time.time()
+            if profile:
+                import cProfile
+                profiler = cProfile.Profile()
+                profiler.enable()
+                table = service.run_figure(EXPERIMENTS[name], scale)
+                profiler.disable()
+            else:
+                table = service.run_figure(EXPERIMENTS[name], scale)
+            _emit_table(name, table, json_out=json_out, csv_dir=csv_dir,
+                        json_dir=json_dir, plot=plot)
+            if metrics_out is not None:
+                # run_figure resets the manifest, so fold each figure's
+                # report in as it completes.
+                metrics_report.update(service.metrics_report())
+            # With --json, stdout must stay parseable
+            # (repro run fig --json | jq): route the manifest/timing
+            # chatter to stderr.
+            chatter = sys.stderr if json_out else sys.stdout
+            if profile and profile_out is not None:
+                path = _profile_path(profile_out, name, len(names) > 1,
+                                     json_dir)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(path)
+                print(f"[profile] pstats dump written to {path} "
+                      f"(inspect with python -m pstats)", file=chatter)
+            elif profile:
+                import io
+                import pstats
+                stream = io.StringIO()
+                pstats.Stats(profiler, stream=stream) \
+                    .sort_stats("cumulative").print_stats(25)
+                print(stream.getvalue(), file=chatter)
+            print(service.manifest.summary(), file=chatter)
+            print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]",
+                  file=chatter)
+            print(file=chatter)
+        if metrics_out is not None:
+            from repro import obs
+            path = obs.write_metrics_json(metrics_out, metrics_report)
+            print(f"[obs] metrics for {len(metrics_report)} point(s) "
+                  f"written to {path}", file=sys.stderr)
+        if tracer is not None:
+            from repro import obs
+            path = obs.write_chrome_trace(trace, tracer)
+            print(obs.summarize_trace(tracer), file=sys.stderr)
+            print(f"[obs] trace written to {path} — open it at "
+                  f"https://ui.perfetto.dev (or chrome://tracing)",
+                  file=sys.stderr)
+    finally:
+        if tracer is not None:
+            from repro import obs
+            obs.reset()
+    return 0
+
+
+def cmd_trace(name: str, scale: str, out, rate: int, events,
+              categories, metrics_out=None) -> int:
+    """``repro trace <experiment>``: serial, cache-free, tracer pinned."""
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment: {name}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    from repro import obs
+
+    tracer = _pin_tracer(rate=rate, events=events, categories=categories)
+    service = _configure_service(1, True, None)
+    try:
         started = time.time()
-        if profile:
-            import cProfile
-            profiler = cProfile.Profile()
-            profiler.enable()
-            table = service.run_figure(EXPERIMENTS[name], scale)
-            profiler.disable()
-        else:
-            table = service.run_figure(EXPERIMENTS[name], scale)
-        _emit_table(name, table, json_out=json_out, csv_dir=csv_dir,
-                    json_dir=json_dir, plot=plot)
-        # With --json, stdout must stay parseable (repro run fig --json | jq):
-        # route the manifest/timing chatter to stderr.
-        chatter = sys.stderr if json_out else sys.stdout
-        if profile:
-            import io
-            import pstats
-            stream = io.StringIO()
-            pstats.Stats(profiler, stream=stream) \
-                .sort_stats("cumulative").print_stats(25)
-            print(stream.getvalue(), file=chatter)
-        print(service.manifest.summary(), file=chatter)
-        print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]",
-              file=chatter)
-        print(file=chatter)
+        table = service.run_figure(EXPERIMENTS[name], scale)
+        print(table.format())
+        print(service.manifest.summary())
+        path = obs.write_chrome_trace(out, tracer)
+        print(obs.summarize_trace(tracer))
+        if metrics_out is not None:
+            mpath = obs.write_metrics_json(metrics_out,
+                                           service.metrics_report())
+            print(f"[obs] metrics written to {mpath}")
+        print(f"[{name}: {time.time() - started:.1f}s at scale={scale}]")
+        print(f"[obs] trace written to {path} — open it at "
+              f"https://ui.perfetto.dev (or chrome://tracing)")
+    finally:
+        obs.reset()
     return 0
 
 
@@ -342,11 +495,19 @@ def main(argv=None) -> int:
                          no_cache=args.no_cache, timeout=args.timeout)
     if args.command == "cache":
         return cmd_cache(args.action)
+    if args.command == "trace":
+        return cmd_trace(args.experiment, args.scale, args.out,
+                         rate=args.rate, events=args.events,
+                         categories=args.categories,
+                         metrics_out=args.metrics_out)
     return cmd_run(args.experiments, args.scale, args.csv_dir,
                    plot=getattr(args, "plot", False), jobs=args.jobs,
                    no_cache=args.no_cache, timeout=args.timeout,
                    json_dir=args.json_dir, json_out=args.json,
-                   profile=getattr(args, "profile", False))
+                   profile=getattr(args, "profile", False),
+                   profile_out=getattr(args, "profile_out", None),
+                   trace=getattr(args, "trace", None),
+                   metrics_out=getattr(args, "metrics_out", None))
 
 
 if __name__ == "__main__":

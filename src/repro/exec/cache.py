@@ -59,6 +59,16 @@ class ResultCache:
         shard = self.root / key[:2]
         return shard / f"{key}.pkl", shard / f"{key}.json"
 
+    def metrics_path(self, key: str) -> pathlib.Path:
+        """Flat ``repro.obs`` metrics sidecar for entry ``key``.
+
+        Written at :meth:`put` time when the result carries a non-empty
+        metrics snapshot, so dashboards and humans can read a run's
+        metric values without unpickling the RunResult.
+        """
+        shard = self.root / key[:2]
+        return shard / f"{key}.metrics.json"
+
     # -- read -----------------------------------------------------------------
     def contains(self, spec: RunSpec) -> bool:
         return self._paths(spec.key)[0].exists()
@@ -109,7 +119,7 @@ class ResultCache:
             corrupt_dir.mkdir(parents=True, exist_ok=True)
         except OSError:
             corrupt_dir = None
-        for path in (pkl, meta):
+        for path in (pkl, meta, self.metrics_path(key)):
             moved = False
             if corrupt_dir is not None:
                 try:
@@ -139,6 +149,13 @@ class ResultCache:
         if seconds is not None:
             sidecar["seconds"] = seconds
         self._atomic_write(meta, json.dumps(sidecar, indent=1).encode())
+        snapshot = getattr(getattr(result, "stats", None), "metrics", None)
+        if snapshot:
+            doc = {"spec": spec.canonical(), "label": spec.label,
+                   "metrics": snapshot.as_dict()}
+            self._atomic_write(self.metrics_path(spec.key),
+                               json.dumps(doc, indent=1,
+                                          default=str).encode())
 
     @staticmethod
     def _atomic_write(path: pathlib.Path, payload: bytes) -> None:

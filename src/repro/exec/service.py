@@ -196,6 +196,33 @@ class _StubMapping(dict):
         return 1.0
 
 
+class _StubMetrics:
+    """Metrics snapshot stand-in: scalar reads are 1.0, groups empty.
+
+    ``group()`` returning ``{}`` matters the same way the empty
+    ``accel_stats`` dict does: figures *iterate* metric groups
+    (Fig. 18) and must see no spurious entries during recording.
+    """
+
+    def get(self, name, default=0.0):
+        return 1.0
+
+    def group(self, prefix):
+        return {}
+
+    def series(self, name):
+        return None
+
+    def histogram(self, name):
+        return None
+
+    def names(self):
+        return ()
+
+    def as_dict(self):
+        return {}
+
+
 class _StubStats:
     cycles = 1.0
     simt_efficiency = 1.0
@@ -212,6 +239,7 @@ class _StubStats:
         # must see no spurious entries during recording.
         self.accel_stats: Dict[str, float] = {}
         self.notes: Dict[str, Any] = {}
+        self.metrics = _StubMetrics()
 
 
 class _StubEnergy:
@@ -234,6 +262,13 @@ class StubResult:
         self.stats = _StubStats()
         self.energy = _StubEnergy()
         self.notes: Dict[str, Any] = {}
+
+    @property
+    def metrics(self):
+        return self.stats.metrics
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        return 1.0
 
     def speedup_over(self, baseline) -> float:
         return 1.0
@@ -510,3 +545,22 @@ class ExecutionService:
         table = fn(scale)
         self.manifest.wall_seconds = time.monotonic() - started
         return table
+
+    # -- metrics ----------------------------------------------------------------
+    def metrics_report(self) -> Dict[str, Any]:
+        """Flat metrics for every point this batch touched.
+
+        Maps each manifest record's label to its result's
+        ``repro.obs`` snapshot (``as_dict()`` form: scalars, series,
+        histograms).  Points resolved from a pre-obs cache entry carry
+        an empty snapshot and report ``{}``.
+        """
+        report: Dict[str, Any] = {}
+        for record in self.manifest.records.values():
+            result = self._memory.get(record.key)
+            snapshot = getattr(getattr(result, "stats", None), "metrics",
+                               None)
+            if snapshot is None:
+                continue
+            report[record.label] = snapshot.as_dict()
+        return report

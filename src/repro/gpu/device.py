@@ -10,6 +10,7 @@ from repro.gpu.sm import SM
 from repro.gpu.warp import Warp
 from repro.guard import Guard
 from repro.memsys.hierarchy import MemoryHierarchy
+from repro.obs import EMPTY_METRICS, TimeSeries, active_tracer, build_metrics
 from repro.sim import make_simulator
 from repro.sim.stats import Counter
 
@@ -37,6 +38,9 @@ class KernelStats:
         self.memory: Dict[str, float] = {}
         self.l1_hit_rate = 0.0
         self.notes: Dict[str, Any] = {}
+        #: repro.obs metrics snapshot, filled after the launch; the
+        #: shared empty placeholder until then.
+        self.metrics = EMPTY_METRICS
 
     # -- recording hooks used by SM -------------------------------------------
     def count_compute(self, kind: str, n: int, active: int, warp_size: int):
@@ -111,8 +115,17 @@ class GPU:
             raise ConfigurationError("kernel needs at least one thread")
         cfg = self.config
         sim = make_simulator()  # fast core, or $REPRO_SIM_CORE=legacy
+        # The tracer must be on the simulator *before* the hierarchy,
+        # SMs, and accelerators are built: they cache it at construction.
+        tracer = active_tracer()
+        sim.tracer = tracer
+        if tracer is not None:
+            tracer.begin_launch(getattr(kernel, "__name__", "kernel"))
         guard = Guard.resolve(guard)
         hierarchy = MemoryHierarchy(sim, cfg)
+        if tracer is not None:
+            # First-class DRAM bandwidth series (Fig. 13's substrate).
+            hierarchy.dram.series = TimeSeries()
         stats = KernelStats()
         sms: List[SM] = [
             SM(sim, i, cfg, hierarchy, stats, self.accelerator_factory)
@@ -159,6 +172,9 @@ class GPU:
             stats.accel_stats = self._merge_accel_stats(accels, sim.now)
         stats.notes["n_threads"] = n_threads
         stats.notes["n_warps"] = n_warps
+        stats.metrics = build_metrics(stats, sms, hierarchy, sim.now, tracer)
+        if tracer is not None:
+            tracer.end_launch(sim.now)
         return stats
 
     @staticmethod

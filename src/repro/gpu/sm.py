@@ -39,6 +39,10 @@ class SM:
         self.l1 = hierarchy.make_l1(sm_id)
         self.issue_port = Timeline(f"sm{sm_id}.issue")
         self.ldst = Timeline(f"sm{sm_id}.ldst")
+        # Cached tracer (repro.obs): None unless GPU.launch attached one
+        # to the simulator before constructing the SMs.
+        self.trace = getattr(sim, "tracer", None)
+        self._unit = f"sm{sm_id}"
         self.warp_queue: List[Warp] = []
         self.accelerator = (accelerator_factory(self)
                             if accelerator_factory is not None else None)
@@ -96,6 +100,8 @@ class SM:
         count_compute = stats.count_compute
         count_mem = stats.count_mem
         simt_issue = stats.simt_issue
+        obs = self.trace
+        unit = self._unit
         for step in trace.steps:
             code = step[0]
             if code == 0:  # Compute group
@@ -107,6 +113,8 @@ class SM:
                     yield wait
                 count_compute(kind, n, active, warp_size)
                 simt_issue(active, warp_size, first_n)
+                if obs is not None:
+                    obs.emit("sm", unit, kind, start, service, active)
             elif code == 1:  # Load group (sectors pre-coalesced)
                 _, active, sectors = step
                 start = issue_acquire(sim.now, 1)
@@ -114,6 +122,9 @@ class SM:
                 ldst_start = ldst_acquire(max(sim.now, start + 1), service)
                 ready = access_sectors(ldst_start + service, l1, sectors)
                 count_mem(active, warp_size, len(sectors), hit_l1=False)
+                if obs is not None:
+                    obs.emit("sm", unit, "load", start, ready - start,
+                             len(sectors))
                 wait = ceil_cycles(ready - sim.now)
                 if wait > 0:
                     yield wait
@@ -125,6 +136,8 @@ class SM:
                              n_sectors / sectors_per_cycle)
                 dram_transfer(sim.now, n_sectors * sector_size)
                 count_mem(active, warp_size, n_sectors, hit_l1=False)
+                if obs is not None:
+                    obs.emit("sm", unit, "store", start, 1.0, n_sectors)
                 wait = ceil_cycles(start + 1 - sim.now)
                 if wait > 0:
                     yield wait
@@ -145,6 +158,8 @@ class SM:
         dram_transfer = self.hierarchy.dram.transfer
         l1 = self.l1
         pending = warp.pending
+        obs = self.trace
+        unit = self._unit
         warp.prime()
         while True:
             group = warp.min_group()
@@ -170,6 +185,8 @@ class SM:
                     yield wait
                 stats.count_compute(op.kind, n, active, warp_size)
                 stats.simt_issue(active, warp_size, op.n)
+                if obs is not None:
+                    obs.emit("sm", unit, op.kind, start, service, active)
 
             elif cls is Load:
                 start = issue_acquire(sim.now, 1)
@@ -181,6 +198,9 @@ class SM:
                 ready = access_sectors(ldst_start + service, l1, sectors)
                 stats.count_mem(active, warp_size, len(sectors),
                                 hit_l1=False)
+                if obs is not None:
+                    obs.emit("sm", unit, "load", start, ready - start,
+                             len(sectors))
                 wait = ceil_cycles(ready - sim.now)
                 if wait > 0:
                     yield wait  # in-order: block until the slowest lane's data
@@ -197,6 +217,8 @@ class SM:
                 dram_transfer(sim.now, len(sectors) * sector_size)
                 stats.count_mem(active, warp_size, len(sectors),
                                 hit_l1=False)
+                if obs is not None:
+                    obs.emit("sm", unit, "store", start, 1.0, len(sectors))
                 wait = ceil_cycles(start + 1 - sim.now)
                 if wait > 0:
                     yield wait
@@ -208,11 +230,16 @@ class SM:
                 if wait > 0:
                     yield wait
                 payloads = [pending[tid].payload for tid in tids]
+                if obs is not None:
+                    submit_at = sim.now
                 signal = self.accelerator.submit(sim.now, payloads)
                 per_query = yield signal
                 results = {tid: per_query[i] for i, tid in enumerate(tids)}
                 stats.count_accel(active, warp_size)
                 stats.simt_issue(active, warp_size, 1)
+                if obs is not None:
+                    obs.emit("sm", unit, "accel_call", submit_at,
+                             sim.now - submit_at, active)
 
             else:
                 # Warp._advance validated the op, so only an exotic

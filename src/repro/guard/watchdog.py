@@ -134,13 +134,15 @@ class Guard:
             raise SimulationStallError(
                 f"no model progress over "
                 f"{processed - self._progress_events} events "
-                f"(cycle {now}, last progress at cycle {self._progress_cycle})",
+                f"(cycle {now}, last progress at cycle "
+                f"{self._progress_cycle}){self._unit_suffix()}",
                 self.bundle("no-progress", now=now, events=processed),
             )
         parked = self._parked_report(now)
         if parked is not None:
             raise SimulationStallError(
-                parked, self.bundle("parked-work", now=now, events=processed))
+                parked + self._unit_suffix(),
+                self.bundle("parked-work", now=now, events=processed))
         if config.strict:
             check_balance(self)
         return processed + config.check_events
@@ -149,7 +151,8 @@ class Guard:
         """The cycle clock passed ``max_cycles``; always aborts."""
         raise SimulationStallError(
             f"cycle budget exceeded: clock reached {time} "
-            f"(max_cycles={self.config.max_cycles})",
+            f"(max_cycles={self.config.max_cycles})"
+            f"{self._unit_suffix()}",
             self.bundle("cycle-budget", now=time),
         )
 
@@ -158,7 +161,8 @@ class Guard:
         (beyond the one-cycle analytic jitter tolerance)."""
         raise InvariantViolation(
             f"timeline {name}: acquisition at {now:.3f} arrived after one "
-            f"at {last:.3f} — FIFO arrival order violated",
+            f"at {last:.3f} — FIFO arrival order violated"
+            f"{self._unit_suffix()}",
             self.bundle("timeline-order"),
         )
 
@@ -198,8 +202,31 @@ class Guard:
                 return report
         return None
 
+    def _tracer(self):
+        """The run's tracer (repro.obs), or None when tracing is off."""
+        return getattr(self.sim, "tracer", None) \
+            if self.sim is not None else None
+
+    def _unit_suffix(self) -> str:
+        """`` (last active unit: ...)`` for abort messages, or ``""``.
+
+        With tracing on, the flight-recorder names the component that
+        emitted last before the abort — usually the stuck one.
+        """
+        tracer = self._tracer()
+        if tracer is None or not len(tracer):
+            return ""
+        unit = tracer.last_active_unit()
+        return f" (last active unit: {unit})" if unit else ""
+
     def bundle(self, reason: str, now=None, events=None) -> dict:
-        """The diagnostic bundle: JSON-serializable simulator state."""
+        """The diagnostic bundle: JSON-serializable simulator state.
+
+        With tracing enabled the bundle embeds the flight-recorder tail
+        (the last events before the abort) and the last-active unit;
+        when ``$REPRO_OBS_DIR`` is set the bundle (plus the full trace)
+        is also dumped there for CI artifact collection.
+        """
         sim = self.sim
         data = {
             "reason": reason,
@@ -221,4 +248,15 @@ class Guard:
         }
         if self.hierarchy is not None:
             data["memsys"] = self.hierarchy.guard_state()
+        tracer = self._tracer()
+        if tracer is not None and len(tracer):
+            data["last_active_unit"] = tracer.last_active_unit()
+            data["trace_tail"] = [list(event) for event in tracer.tail(64)]
+        # Imported lazily: the guard works without obs on the path, and
+        # dump_diagnostics itself never raises into this abort path.
+        from repro.obs import dump_diagnostics
+
+        dumped = dump_diagnostics(data, tracer)
+        if dumped is not None:
+            data["dumped_to"] = dumped
         return data

@@ -162,16 +162,18 @@ def fig01_motivation(scale: Optional[str] = None) -> Table:
         table.add_row(
             name, base.simt_efficiency,
             paper.FIG1_SIMT_EFFICIENCY[name],
-            base.dram_utilization, paper.FIG1_DRAM_UTIL_GPU[name],
-            tta.dram_utilization, paper.FIG1_DRAM_UTIL_TTA[name],
+            base.metric("memsys.dram.utilization"),
+            paper.FIG1_DRAM_UTIL_GPU[name],
+            tta.metric("memsys.dram.utilization"),
+            paper.FIG1_DRAM_UTIL_TTA[name],
         )
     # The paper's rightmost bars: ray tracing, where the RTA already
     # fixes the divergence (software traversal vs hardware traceRay).
     sw = _lumi_run("BUNNY_SH", "gpu", p["lumi_res"])
     hw = _lumi_run("BUNNY_SH", "rta", p["lumi_res"])
     table.add_row("raytrace", sw.simt_efficiency, 0.45,
-                  sw.dram_utilization, 0.15,
-                  hw.dram_utilization, 0.30)
+                  sw.metric("memsys.dram.utilization"), 0.15,
+                  hw.metric("memsys.dram.utilization"), 0.30)
     return table
 
 
@@ -244,6 +246,15 @@ def fig12_speedup(scale: Optional[str] = None) -> Table:
 
 
 # -- Fig. 13: DRAM utilization ------------------------------------------------------
+#
+# Figs. 13/15/18 read the repro.obs metrics registry
+# (``run.metric("memsys.dram.utilization")`` and friends) rather than
+# raw stat dicts or accelerator snapshot keys: the registry owns the
+# naming and the per-accelerator merging.
+
+_DRAM_UTIL = "memsys.dram.utilization"
+
+
 def fig13_dram(scale: Optional[str] = None) -> Table:
     p = params(scale)
     nk, nq = p["btree_main"]
@@ -254,25 +265,25 @@ def fig13_dram(scale: Optional[str] = None) -> Table:
     for variant in ("btree", "bstar", "bplus"):
         table.add_row(
             variant,
-            _btree_run(variant, nk, nq, "gpu").dram_utilization,
+            _btree_run(variant, nk, nq, "gpu").metric(_DRAM_UTIL),
             float("nan"),  # baseline RTA cannot run B-Tree queries
-            _btree_run(variant, nk, nq, "tta").dram_utilization,
-            _btree_run(variant, nk, nq, "ttaplus").dram_utilization,
+            _btree_run(variant, nk, nq, "tta").metric(_DRAM_UTIL),
+            _btree_run(variant, nk, nq, "ttaplus").metric(_DRAM_UTIL),
         )
     for dims in (2, 3):
         table.add_row(
             f"nbody{dims}d",
-            _nbody_run(dims, p["nbody_bodies"], "gpu").dram_utilization,
+            _nbody_run(dims, p["nbody_bodies"], "gpu").metric(_DRAM_UTIL),
             float("nan"),
-            _nbody_run(dims, p["nbody_bodies"], "tta").dram_utilization,
-            _nbody_run(dims, p["nbody_bodies"], "ttaplus").dram_utilization,
+            _nbody_run(dims, p["nbody_bodies"], "tta").metric(_DRAM_UTIL),
+            _nbody_run(dims, p["nbody_bodies"], "ttaplus").metric(_DRAM_UTIL),
         )
     table.add_row(
         "rtnn",
-        _rtnn_run(*p["rtnn"], "gpu").dram_utilization,
-        _rtnn_run(*p["rtnn"], "rta").dram_utilization,
-        _rtnn_run(*p["rtnn"], "tta").dram_utilization,
-        _rtnn_run(*p["rtnn"], "ttaplus_opt").dram_utilization,
+        _rtnn_run(*p["rtnn"], "gpu").metric(_DRAM_UTIL),
+        _rtnn_run(*p["rtnn"], "rta").metric(_DRAM_UTIL),
+        _rtnn_run(*p["rtnn"], "tta").metric(_DRAM_UTIL),
+        _rtnn_run(*p["rtnn"], "ttaplus_opt").metric(_DRAM_UTIL),
     )
     return table
 
@@ -317,11 +328,10 @@ def fig15_unit_util(scale: Optional[str] = None) -> Table:
             ("rtnn", _rtnn_run(*p["rtnn"], "tta"),
              ["box", "point_dist"])]
     for name, run, units in runs:
-        acc = run.stats.accel_stats
         for unit in units:
             table.add_row(name, unit,
-                          acc.get(f"{unit}_occupancy_avg", 0.0),
-                          acc.get(f"{unit}_occupancy_peak", 0))
+                          run.metric(f"rta.unit.{unit}.occupancy_avg"),
+                          run.metric(f"rta.unit.{unit}.occupancy_peak"))
     return table
 
 
@@ -391,13 +401,14 @@ def fig18_opunits(scale: Optional[str] = None) -> Table:
             ("*rtnn", _rtnn_run(*p["rtnn"], "ttaplus_opt")),
             ("wknd", _wknd_run("ttaplus_opt", p))]
     for name, run in runs:
-        acc = run.stats.accel_stats
-        for key, value in sorted(acc.items()):
-            if key.startswith("op_") and key.endswith("_util") and value > 0:
-                table.add_row(name, "util", key[3:-5], value)
-            if key.startswith("test_") and key.endswith("_latency_mean") \
-                    and value > 0:
-                table.add_row(name, "latency", key[5:-13], value)
+        metrics = run.metrics
+        for op, value in sorted(metrics.group("ttaplus.op_util").items()):
+            if value > 0:
+                table.add_row(name, "util", op, value)
+        for test, value in sorted(
+                metrics.group("ttaplus.test_latency").items()):
+            if value > 0:
+                table.add_row(name, "latency", test, value)
     return table
 
 

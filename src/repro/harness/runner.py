@@ -34,6 +34,7 @@ from repro.kernels.radius_search import (
     radius_baseline_kernel,
 )
 from repro.kernels.ray_trace import rt_accel_kernel, rt_baseline_kernel
+from repro.obs import EMPTY_METRICS
 from repro.rta.rta import make_rta_factory
 from repro.workloads.btree_workload import BTreeWorkload, verify_results
 from repro.workloads.lumibench import LumiWorkload
@@ -63,6 +64,20 @@ class RunResult:
     @property
     def dram_utilization(self) -> float:
         return self.stats.dram_utilization
+
+    @property
+    def metrics(self):
+        """The launch's :class:`repro.obs.MetricsSnapshot`.
+
+        Results unpickled from a cache entry written before the metrics
+        registry existed fall back to the shared empty snapshot.
+        """
+        snapshot = getattr(self.stats, "metrics", None)
+        return snapshot if snapshot is not None else EMPTY_METRICS
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        """One scalar from the metrics registry (``repro.obs``)."""
+        return self.metrics.get(name, default)
 
     def speedup_over(self, baseline: "RunResult") -> float:
         return baseline.cycles / self.cycles if self.cycles else 0.0

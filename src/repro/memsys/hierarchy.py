@@ -34,6 +34,10 @@ class MemoryHierarchy:
         self.sector_requests = 0
         self.sector_responses = 0
         self.mshr_merges = 0
+        # Cached tracer (repro.obs): L2 hits and DRAM fills are traced;
+        # L1 hits are not (they dominate the request stream and carry
+        # no contention information).
+        self.trace = getattr(sim, "tracer", None)
 
     def make_l1(self, sm_id: int) -> Cache:
         return Cache(f"L1[{sm_id}]", self.config.l1_size,
@@ -77,11 +81,18 @@ class MemoryHierarchy:
             self.mshr_merges += 1
             return inflight
         if self.l2.touch(sector):
-            return self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
+            done = self.l2_port.transfer(now, cfg.sector_size) \
+                + cfg.l2_latency
+            if self.trace is not None:
+                self.trace.emit("memsys", "l2", "hit", now, done - now,
+                                sector)
+            return done
         # L2 miss: fetch a full line from DRAM (L2 and L1 already filled).
         l2_ready = self.l2_port.transfer(now, cfg.sector_size) + cfg.l2_latency
         done = self.dram.transfer(l2_ready, cfg.line_size) + cfg.dram_latency
         self._inflight[line] = done
+        if self.trace is not None:
+            self.trace.emit("memsys", "dram", "fill", now, done - now, line)
         return done
 
     # -- guard interface -----------------------------------------------------

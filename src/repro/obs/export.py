@@ -1,0 +1,163 @@
+"""Exporters: Chrome/Perfetto trace JSON, metrics JSON, terminal summary.
+
+The trace format is the Chrome Trace Event JSON object form (a dict
+with ``traceEvents``), which both ``chrome://tracing`` and Perfetto's
+https://ui.perfetto.dev open directly.  Cycle-domain timestamps map to
+microseconds one-to-one (1 cycle == 1 "µs"), so the UI's time axis
+reads directly in cycles.
+
+Track layout: each tracer *category* becomes a process (``pid``) named
+after it, each emitting *unit* a thread (``tid``) within that process —
+so the scheduler clock, the SMs, the RTA intersection pools, and the
+memory system render as four separate track groups.
+"""
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tracer import CATEGORIES, Tracer
+
+#: Diagnostic-dump directory: when set, guard bundles (and the trace
+#: tail that goes with them) are written here so CI can upload them as
+#: artifacts on failure.
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+
+
+# -- Chrome/Perfetto trace ---------------------------------------------------------
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer's ring as a Chrome Trace Event JSON object."""
+    pids: Dict[str, int] = {cat: i + 1 for i, cat in enumerate(CATEGORIES)}
+    tids: Dict[tuple, int] = {}
+    events: List[Dict[str, Any]] = []
+    meta: List[Dict[str, Any]] = []
+
+    for cat, unit, name, ts, dur, arg in tracer.events():
+        pid = pids.get(cat)
+        if pid is None:
+            pid = pids[cat] = len(pids) + 1
+        tid = tids.get((cat, unit))
+        if tid is None:
+            tid = tids[(cat, unit)] = \
+                sum(1 for key in tids if key[0] == cat) + 1
+            meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": tid, "args": {"name": unit}})
+        event: Dict[str, Any] = {
+            "name": name, "cat": cat, "pid": pid, "tid": tid, "ts": ts,
+        }
+        if dur > 0:
+            event["ph"] = "X"
+            event["dur"] = dur
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        if arg is not None:
+            event["args"] = {"arg": arg}
+        events.append(event)
+
+    for cat, pid in pids.items():
+        meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                     "args": {"name": cat}})
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.obs",
+            "time_unit": "1 trace us == 1 simulated cycle",
+            "events_seen": tracer.events_seen,
+            "events_kept": tracer.events_kept,
+            "events_dropped": tracer.events_dropped,
+            "sampling_rate": tracer.rate,
+            "launches": [{"label": label, "cycles": cycles}
+                         for label, cycles in tracer.launches],
+        },
+    }
+
+
+def write_chrome_trace(path, tracer: Tracer) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer)) + "\n")
+    return path
+
+
+# -- metrics JSON ------------------------------------------------------------------
+def write_metrics_json(path, report: Dict[str, Any]) -> pathlib.Path:
+    """Write a label → metrics mapping (or one snapshot dict) as JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=1, default=str,
+                               sort_keys=True) + "\n")
+    return path
+
+
+# -- terminal summary --------------------------------------------------------------
+def summarize_trace(tracer: Tracer) -> str:
+    """A short human-readable account of what the ring holds."""
+    by_cat: Dict[str, int] = {}
+    for event in tracer.events():
+        by_cat[event[0]] = by_cat.get(event[0], 0) + 1
+    cats = ", ".join(f"{cat}={n}" for cat, n in sorted(by_cat.items()))
+    dropped = tracer.events_dropped
+    lines = [
+        f"[obs] {len(tracer)} event(s) buffered "
+        f"({tracer.events_seen} seen, rate 1/{tracer.rate}"
+        f"{f', {dropped} evicted' if dropped else ''})",
+        f"[obs] categories: {cats or '(none)'}",
+    ]
+    for label, cycles in tracer.launches:
+        lines.append(f"[obs] launch {label}: {cycles:.0f} cycles")
+    return "\n".join(lines)
+
+
+def summarize_metrics(snapshot, limit: int = 0) -> str:
+    """Scalar metrics as aligned ``name value`` lines."""
+    names = snapshot.names()
+    if limit:
+        names = names[:limit]
+    if not names:
+        return "[obs] no metrics recorded"
+    width = max(len(name) for name in names)
+    lines = [f"  {name:<{width}}  {snapshot.get(name):.6g}"
+             for name in names]
+    extras = []
+    for name in sorted(snapshot.series_data):
+        series = snapshot.series(name)
+        extras.append(f"  {name:<{width}}  "
+                      f"[series: {len(series.values)} bucket(s), "
+                      f"total {series.total():.6g}]")
+    for name in sorted(snapshot.histograms):
+        hist = snapshot.histogram(name)
+        extras.append(f"  {name:<{width}}  "
+                      f"[hist: n={hist.count} mean={hist.mean:.3g} "
+                      f"max={hist.max:.3g}]")
+    return "\n".join(lines + extras)
+
+
+# -- guard diagnostic dumps --------------------------------------------------------
+def dump_diagnostics(bundle: Dict[str, Any],
+                     tracer: Optional[Tracer] = None) -> Optional[str]:
+    """Persist a guard bundle (+ trace) under ``$REPRO_OBS_DIR``.
+
+    Returns the bundle path, or None when the variable is unset or the
+    write fails — diagnostics dumping must never raise into the abort
+    path that triggered it.
+    """
+    root = os.environ.get(OBS_DIR_ENV)
+    if not root:
+        return None
+    try:
+        directory = pathlib.Path(root)
+        directory.mkdir(parents=True, exist_ok=True)
+        stamp = f"{int(time.time() * 1000):x}-{os.getpid()}"
+        reason = str(bundle.get("reason", "guard")).replace("/", "_")
+        path = directory / f"guard-{reason}-{stamp}.json"
+        path.write_text(json.dumps(bundle, indent=1, default=str) + "\n")
+        if tracer is not None and len(tracer):
+            write_chrome_trace(directory / f"trace-{reason}-{stamp}.json",
+                               tracer)
+        return str(path)
+    except Exception:
+        return None

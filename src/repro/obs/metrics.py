@@ -1,0 +1,286 @@
+"""Metrics registry: counters, gauges, histograms, time series.
+
+This is the layer Figs. 13/15/18 consume.  The raw model keeps its
+cheap inline counters (``sim.stats``, accelerator snapshots); after a
+launch :func:`build_metrics` folds them into one namespaced, flat
+registry so harness code reads ``run.metric("memsys.dram.utilization")``
+instead of string-parsing accelerator snapshot keys.
+
+Naming scheme (dots separate namespace levels; the final level is the
+metric):
+
+==============================================  ===========================
+``sim.cycles``                                  final cycle count
+``sim.simt_efficiency``                         mean active-lane fraction
+``sm.issue.utilization`` / ``sm.ldst.*``        SM port busy fractions
+``memsys.dram.utilization|bytes|requests``      DRAM channel (Fig. 13)
+``memsys.l2.hit_rate|accesses``                 shared L2
+``memsys.l1.hit_rate``                          mean across per-SM L1s
+``rta.unit.<op>.occupancy_avg|occupancy_peak``  intersection pools (Fig. 15)
+``rta.unit.<op>.ops|busy_cycles|latency_mean``
+``ttaplus.op_util.<unit>``                      TTA+ OP units (Fig. 18 top)
+``ttaplus.test_latency.<test>``                 TTA+ tests (Fig. 18 bottom)
+``accel.<key>``                                 any other accelerator scalar
+==============================================  ===========================
+
+Series and histograms are first-class values alongside the scalars:
+``memsys.dram.bandwidth_series`` (bytes per cycle bucket, only recorded
+while tracing is on) and per-category event-duration histograms derived
+from the trace ring.
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: TTA/RTA fixed-function pool ops whose snapshot keys get the
+#: ``rta.unit.`` namespace (matches FixedFunctionBackend.TTA_OPS).
+_POOL_OPS = ("box", "tri", "xform", "query_key", "point_dist")
+
+#: Suffixes of per-pool scalar keys in FixedFunctionBackend.snapshot().
+_POOL_FIELDS = ("ops", "busy_cycles", "occupancy_avg", "occupancy_peak",
+                "latency_mean")
+
+
+class TimeSeries:
+    """Values accumulated into fixed-width cycle buckets."""
+
+    __slots__ = ("bucket", "values")
+
+    def __init__(self, bucket: float = 1024.0,
+                 values: Optional[Dict[int, float]] = None):
+        if bucket <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket}")
+        self.bucket = bucket
+        self.values: Dict[int, float] = values if values is not None else {}
+
+    def add(self, t: float, amount: float) -> None:
+        index = int(t // self.bucket)
+        values = self.values
+        values[index] = values.get(index, 0.0) + amount
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Sorted ``(bucket_start_cycle, total)`` pairs."""
+        bucket = self.bucket
+        return [(index * bucket, total)
+                for index, total in sorted(self.values.items())]
+
+    def rate_points(self) -> List[Tuple[float, float]]:
+        """Sorted ``(bucket_start_cycle, amount_per_cycle)`` pairs."""
+        bucket = self.bucket
+        return [(index * bucket, total / bucket)
+                for index, total in sorted(self.values.items())]
+
+    def total(self) -> float:
+        return sum(self.values.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"bucket": self.bucket, "points": self.points()}
+
+
+class Histogram:
+    """Power-of-two bucketed histogram of non-negative samples."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.counts: Dict[int, int] = {}  # bucket exponent -> count
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exponent = 0
+        edge = 1.0
+        while value > edge and exponent < 64:
+            edge *= 2.0
+            exponent += 1
+        self.counts[exponent] = self.counts.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Sorted ``(upper_edge, count)`` pairs."""
+        return [(float(2 ** exponent), n)
+                for exponent, n in sorted(self.counts.items())]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "mean": self.mean,
+                "min": self.min if self.count else 0.0, "max": self.max,
+                "buckets": self.buckets()}
+
+
+class MetricsSnapshot:
+    """Frozen, pickle-friendly view of one launch's metrics.
+
+    Scalars, series, and histograms live in separate plain-dict planes;
+    everything here is data (no references back into the simulator), so
+    snapshots survive the exec cache's pickle round trip and worker
+    process boundaries.
+    """
+
+    __slots__ = ("scalars", "series_data", "histograms")
+
+    def __init__(self, scalars=None, series=None, histograms=None):
+        self.scalars: Dict[str, float] = scalars or {}
+        self.series_data: Dict[str, TimeSeries] = series or {}
+        self.histograms: Dict[str, Histogram] = histograms or {}
+
+    # -- lookups -----------------------------------------------------------
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.scalars.get(name, default)
+
+    def series(self, name: str) -> Optional[TimeSeries]:
+        return self.series_data.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.histograms.get(name)
+
+    def group(self, prefix: str) -> Dict[str, float]:
+        """Scalar metrics directly under ``prefix.``, keyed by suffix.
+
+        ``group("ttaplus.op_util")`` returns ``{"minmax": 0.4, ...}``.
+        """
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        start = len(dotted)
+        return {name[start:]: value for name, value in self.scalars.items()
+                if name.startswith(dotted)}
+
+    def names(self) -> List[str]:
+        return sorted(self.scalars)
+
+    def __len__(self) -> int:
+        return (len(self.scalars) + len(self.series_data)
+                + len(self.histograms))
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-safe form (the exporter/sidecar format)."""
+        out: Dict[str, Any] = {"scalars": dict(self.scalars)}
+        if self.series_data:
+            out["series"] = {name: s.as_dict()
+                             for name, s in self.series_data.items()}
+        if self.histograms:
+            out["histograms"] = {name: h.as_dict()
+                                 for name, h in self.histograms.items()}
+        return out
+
+
+#: Shared placeholder for results that predate (or ran without) the
+#: registry; every lookup misses cleanly.
+EMPTY_METRICS = MetricsSnapshot()
+
+
+class MetricsRegistry:
+    """Mutable builder for a :class:`MetricsSnapshot`."""
+
+    def __init__(self):
+        self._scalars: Dict[str, float] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def set(self, name: str, value) -> None:
+        """Record a gauge (latest value wins)."""
+        self._scalars[name] = float(value)
+
+    def add(self, name: str, delta: float = 1.0) -> None:
+        """Bump a counter."""
+        self._scalars[name] = self._scalars.get(name, 0.0) + delta
+
+    def series(self, name: str, bucket: float = 1024.0) -> TimeSeries:
+        existing = self._series.get(name)
+        if existing is None:
+            existing = self._series[name] = TimeSeries(bucket)
+        return existing
+
+    def attach_series(self, name: str, series: TimeSeries) -> None:
+        self._series[name] = series
+
+    def histogram(self, name: str) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            existing = self._histograms[name] = Histogram()
+        return existing
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(dict(self._scalars), dict(self._series),
+                               dict(self._histograms))
+
+
+# -- building the launch snapshot ------------------------------------------------
+#: MemoryHierarchy.stats() keys -> namespaced metric names.
+_MEMORY_KEYS = {
+    "dram_utilization": "memsys.dram.utilization",
+    "dram_bytes": "memsys.dram.bytes",
+    "dram_requests": "memsys.dram.requests",
+    "l2_hit_rate": "memsys.l2.hit_rate",
+    "l2_accesses": "memsys.l2.accesses",
+    "sector_requests": "memsys.sector_requests",
+    "mshr_merges": "memsys.mshr_merges",
+}
+
+
+def _map_accel_key(key: str) -> Optional[str]:
+    """Namespace one merged accelerator-snapshot scalar key."""
+    for op in _POOL_OPS:
+        head = op + "_"
+        if key.startswith(head) and key[len(head):] in _POOL_FIELDS:
+            return f"rta.unit.{op}.{key[len(head):]}"
+    if key.startswith("op_") and key.endswith("_util"):
+        return f"ttaplus.op_util.{key[3:-5]}"
+    if key.startswith("test_") and key.endswith("_latency_mean"):
+        return f"ttaplus.test_latency.{key[5:-13]}"
+    return f"accel.{key}"
+
+
+def build_metrics(stats, sms, hierarchy, end, tracer=None) -> MetricsSnapshot:
+    """Fold one finished launch into a :class:`MetricsSnapshot`.
+
+    ``stats``/``sms``/``hierarchy`` are the launch's live model objects
+    (read-only here); ``tracer`` adds the trace-derived artifacts —
+    the DRAM bandwidth series and per-category duration histograms —
+    when tracing was on.
+    """
+    reg = MetricsRegistry()
+    reg.set("sim.cycles", stats.cycles)
+    reg.set("sim.simt_efficiency", stats.simt_efficiency)
+    reg.set("sim.warp_instructions", stats.total_warp_instructions)
+
+    if sms:
+        n = len(sms)
+        reg.set("sm.issue.utilization",
+                sum(sm.issue_port.utilization(end) for sm in sms) / n)
+        reg.set("sm.ldst.utilization",
+                sum(sm.ldst.utilization(end) for sm in sms) / n)
+        reg.set("sm.warps_retired", sum(sm._done_count for sm in sms))
+
+    for key, value in stats.memory.items():
+        reg.set(_MEMORY_KEYS.get(key, f"memsys.{key}"), value)
+    reg.set("memsys.l1.hit_rate", stats.l1_hit_rate)
+
+    for key, value in stats.accel_stats.items():
+        if isinstance(value, (int, float)):
+            mapped = _map_accel_key(key)
+            if mapped is not None:
+                reg.set(mapped, value)
+
+    if tracer is not None:
+        dram_series = getattr(getattr(hierarchy, "dram", None), "series",
+                              None)
+        if dram_series is not None:
+            reg.attach_series("memsys.dram.bandwidth_series", dram_series)
+        for cat, _unit, _name, _ts, dur, _arg in tracer.events():
+            if dur > 0:
+                reg.histogram(f"{cat}.event_duration").observe(dur)
+        reg.set("trace.events_seen", tracer.events_seen)
+        reg.set("trace.events_kept", tracer.events_kept)
+    return reg.snapshot()

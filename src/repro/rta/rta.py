@@ -107,6 +107,11 @@ class RTACore:
         self._busy_jobs = 0
         self._legacy = getattr(self.sim, "legacy_core", False)
         self._chained = hasattr(backend, "begin_chain")
+        # Cached tracer (repro.obs); job-phase events ("node_fetch",
+        # "shader", "job_done") are emitted here, per-op unit events by
+        # the backend's pools.
+        self.trace = getattr(self.sim, "tracer", None)
+        self._unit = f"rta{sm.sm_id}"
         self._admit_queue = deque()
         self._wake: dict = {}  # cycle -> [_JobRun, ...] awaiting that cycle
         self._pending: set = set()  # query ids launched but not completed
@@ -157,6 +162,8 @@ class RTACore:
         n_steps = len(steps)
         chained = self._chained
         prefetch_depth = self.prefetch_depth
+        obs = self.trace
+        unit = self._unit
         while True:
             now = run.at
             if run.chain is not None:
@@ -188,6 +195,9 @@ class RTACore:
                     ready = now
                 warp_buffer.record_access(reads=2, writes=1)
                 if ready > now:
+                    if obs is not None:
+                        obs.emit("rta", unit, "node_fetch", now, ready - now,
+                                 run.job.query_id)
                     run.fetched = True
                     wake_at(ready, run)
                     return
@@ -195,7 +205,11 @@ class RTACore:
             op = step.op
             if op == "shader":
                 run.idx = idx + 1
-                wake_at(self._shader_finish_at(now, step), run)
+                finish = self._shader_finish_at(now, step)
+                if obs is not None:
+                    obs.emit("rta", unit, "shader", now, finish - now,
+                             run.job.query_id)
+                wake_at(finish, run)
                 return
             if chained:
                 chain = backend.begin_chain(op, step.count)
@@ -260,6 +274,9 @@ class RTACore:
         now = run.at  # analytic completion time (≤ the engine cycle)
         warp_buffer = self.warp_buffer
         warp_buffer.vacate(now)
+        if self.trace is not None:
+            self.trace.emit("rta", self._unit, "job_done", now, 0.0,
+                            run.job.query_id)
         self.traversal_latency.sample(now - run.begin)
         self.jobs_completed += 1
         self._pending.discard(run.job.query_id)
@@ -298,6 +315,8 @@ class RTACore:
                  jobs: List[TraversalJob]):
         sim = self.sim
         begin = sim.now
+        obs = self.trace
+        unit = self._unit
         yield from self.warp_buffer.acquire()
         self.warp_buffer.record_access(writes=1)  # install ray state
         for index, step in enumerate(job.steps):
@@ -310,14 +329,23 @@ class RTACore:
                                            ahead.size)
                 ready = self.mem.fetch(sim.now, step.address, step.size)
                 if ready > sim.now:
+                    if obs is not None:
+                        obs.emit("rta", unit, "node_fetch", sim.now,
+                                 ready - sim.now, job.query_id)
                     yield ready - sim.now
             self.warp_buffer.record_access(reads=2, writes=1)
             self.steps_advanced += 1
             if step.op == "shader":
+                shader_from = sim.now
                 yield from self._run_shader(step)
+                if obs is not None:
+                    obs.emit("rta", unit, "shader", shader_from,
+                             sim.now - shader_from, job.query_id)
             else:
                 yield from self.backend.execute(sim.now, step.op, step.count)
         self.warp_buffer.release()
+        if obs is not None:
+            obs.emit("rta", unit, "job_done", sim.now, 0.0, job.query_id)
         self.traversal_latency.sample(sim.now - begin)
         self.jobs_completed += 1
         self._pending.discard(job.query_id)

@@ -23,7 +23,7 @@ from repro.sim.resources import PipelinedUnit
 class UnitPool:
     """N identical pipelines; ops go to the least-recently-used copy."""
 
-    def __init__(self, name: str, latency: int, sets: int):
+    def __init__(self, name: str, latency: int, sets: int, tracer=None):
         if sets < 1:
             raise ConfigurationError(f"{name}: needs at least one set")
         self.name = name
@@ -32,6 +32,9 @@ class UnitPool:
             for i in range(sets)
         ]
         self._next = 0
+        # Optional repro.obs tracer: per-op unit events for both the
+        # batched (issue_drain) and legacy (issue) execution paths.
+        self.trace = tracer
 
     def issue(self, now: float):
         units = self.units
@@ -40,6 +43,8 @@ class UnitPool:
         nxt += 1
         self._next = 0 if nxt == len(units) else nxt
         start, done = unit.issue(now)
+        if self.trace is not None:
+            self.trace.emit("rta", self.name, "op", start, done - start)
         return unit, start, done
 
     def issue_drain(self, now: float) -> float:
@@ -49,7 +54,10 @@ class UnitPool:
         unit = units[nxt]
         nxt += 1
         self._next = 0 if nxt == len(units) else nxt
-        return unit.issue_drain(now)
+        done = unit.issue_drain(now)
+        if self.trace is not None:
+            self.trace.emit("rta", self.name, "op", now, done - now)
+        return done
 
     @property
     def ops(self) -> int:
@@ -94,21 +102,23 @@ class FixedFunctionBackend:
         def lat(op: str, default: int) -> int:
             return int(overrides.get(op, default))
 
+        tracer = getattr(sim, "tracer", None)
         self.pools: Dict[str, UnitPool] = {
             "box": UnitPool("ray_box", lat("box", config.ray_box_latency),
-                            sets),
+                            sets, tracer),
             "tri": UnitPool("ray_tri", lat("tri", config.ray_tri_latency),
-                            sets),
-            "xform": UnitPool("xform", lat("xform", 4), sets),
+                            sets, tracer),
+            "xform": UnitPool("xform", lat("xform", 4), sets, tracer),
         }
         if tta:
             # Query-Key shares the (modified) Ray-Box silicon but is its
             # own logical pool so Fig. 15 can report it separately.
             self.pools["query_key"] = UnitPool(
-                "query_key", lat("query_key", config.query_key_latency), sets)
+                "query_key", lat("query_key", config.query_key_latency),
+                sets, tracer)
             self.pools["point_dist"] = UnitPool(
                 "point_dist", lat("point_dist", config.point_dist_latency),
-                sets)
+                sets, tracer)
         self.supports = self.TTA_OPS if tta else self.BASELINE_OPS
 
     def execute(self, now: float, op: str, count: int):

@@ -130,7 +130,7 @@ class Simulator:
     legacy_core = False
 
     __slots__ = ("now", "_ready", "_ri", "_buckets", "_cycle_heap",
-                 "_events_processed", "guard")
+                 "_events_processed", "guard", "tracer")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -144,6 +144,10 @@ class Simulator:
         #: checkpoints and cycle advances, so an attached guard cannot
         #: change event order, the final time, or any statistic.
         self.guard = None
+        #: Optional repro.obs.Tracer; set by GPU.launch.  Like the
+        #: guard, purely observational: components read it once at
+        #: construction and emit behind a single is-None branch.
+        self.tracer = None
 
     # -- event interface -------------------------------------------------
     def call_at(self, time, fn: Callable, *args: Any) -> None:
@@ -269,6 +273,7 @@ class Simulator:
         else:
             cycle_cap = None
             check_at = None
+        tracer = self.tracer
         try:
             while True:
                 # Drain the current cycle FIFO; handlers may append more.
@@ -300,6 +305,9 @@ class Simulator:
                     guard.on_cycle_budget(time)
                 ready = self._ready = buckets.pop(time)
                 i = 0
+                if tracer is not None:
+                    tracer.emit("scheduler", "engine", "cycle", time, 0.0,
+                                len(ready))
         finally:
             self._events_processed = processed
             if i >= len(self._ready):

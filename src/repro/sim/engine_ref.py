@@ -36,6 +36,8 @@ class HeapSimulator:
         #: Optional repro.guard.Guard (same hook contract as the fast
         #: core): purely observational, never schedules events.
         self.guard = None
+        #: Optional repro.obs.Tracer (same contract as the fast core).
+        self.tracer = None
 
     # -- event interface -------------------------------------------------
     def call_at(self, time: float, fn: Callable, *args: Any) -> None:
@@ -100,6 +102,8 @@ class HeapSimulator:
         else:
             cycle_cap = None
             check_at = None
+        tracer = self.tracer
+        last_traced = None
         while self._queue:
             time, _seq, fn, args = self._queue[0]
             if until is not None and time > until:
@@ -107,6 +111,9 @@ class HeapSimulator:
                 break
             heapq.heappop(self._queue)
             self.now = time
+            if tracer is not None and time != last_traced:
+                last_traced = time
+                tracer.emit("scheduler", "engine", "cycle", time, 0.0, None)
             if cycle_cap is not None and time > cycle_cap:
                 guard.on_cycle_budget(time)
             fn(*args)

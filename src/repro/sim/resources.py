@@ -164,7 +164,8 @@ class ThroughputResource:
     paper plots in Figs. 1 and 13.
     """
 
-    __slots__ = ("name", "per_cycle", "latency", "_timeline", "bytes_moved")
+    __slots__ = ("name", "per_cycle", "latency", "_timeline", "bytes_moved",
+                 "series")
 
     def __init__(self, name: str, per_cycle: float, latency: float = 0.0):
         if per_cycle <= 0:
@@ -174,6 +175,10 @@ class ThroughputResource:
         self.latency = latency
         self._timeline = Timeline(f"{name}.bw")
         self.bytes_moved = 0.0
+        # Optional repro.obs.TimeSeries: when attached (tracing on),
+        # every transfer also lands in a cycle-bucketed bandwidth
+        # series; one is-None branch otherwise.
+        self.series = None
 
     def transfer(self, now: float, amount: float) -> float:
         if amount < 0:
@@ -181,6 +186,8 @@ class ThroughputResource:
         service = amount / self.per_cycle
         start = self._timeline.acquire(now, service)
         self.bytes_moved += amount
+        if self.series is not None:
+            self.series.add(start, amount)
         return start + service + self.latency
 
     def utilization(self, end: float) -> float:

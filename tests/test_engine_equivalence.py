@@ -148,6 +148,52 @@ class TestEndToEndEquivalence:
             legacy.stats.accel_stats["jobs_completed"]
 
 
+class TestMetricsEquivalence:
+    """repro.obs metric parity between the fast and legacy engines.
+
+    The metrics registry folds the same model counters on both engines,
+    so the *set* of metric names must be identical, count-like metrics
+    must match exactly, and rate-like metrics must agree to the same
+    tolerance as the underlying clocks.
+    """
+
+    @pytest.fixture(scope="class")
+    def btree_wl(self):
+        from repro.workloads import make_btree_workload
+        return make_btree_workload("btree", n_keys=256, n_queries=128,
+                                   seed=11)
+
+    def _run(self, wl, platform, mode, monkeypatch):
+        from repro.harness.runner import run_btree, scaled_config_for
+        monkeypatch.setenv("REPRO_SIM_CORE", mode)
+        cfg = scaled_config_for(wl.image.size_bytes)
+        return run_btree(wl, platform, config=cfg)
+
+    def test_baseline_gpu_metrics_identical(self, btree_wl, monkeypatch):
+        fast = self._run(btree_wl, "gpu", "fast", monkeypatch).metrics
+        legacy = self._run(btree_wl, "gpu", "legacy", monkeypatch).metrics
+        assert set(fast.names()) == set(legacy.names())
+        for name in fast.names():
+            assert fast.get(name) == legacy.get(name), name
+
+    def test_tta_metrics_equivalent(self, btree_wl, monkeypatch):
+        fast = self._run(btree_wl, "tta", "fast", monkeypatch).metrics
+        legacy = self._run(btree_wl, "tta", "legacy", monkeypatch).metrics
+        assert set(fast.names()) == set(legacy.names())
+        # Count metrics are engine-independent (same traversal steps,
+        # same ops); clocks and rates agree like the cycle counts do.
+        assert fast.get("accel.jobs_completed") == \
+            legacy.get("accel.jobs_completed")
+        assert fast.get("rta.unit.query_key.ops") == \
+            legacy.get("rta.unit.query_key.ops")
+        assert fast.get("sim.warp_instructions") == \
+            legacy.get("sim.warp_instructions")
+        assert fast.get("sim.cycles") == \
+            pytest.approx(legacy.get("sim.cycles"), rel=0.05)
+        assert fast.get("memsys.dram.utilization") == \
+            pytest.approx(legacy.get("memsys.dram.utilization"), rel=0.10)
+
+
 class TestDegenerateEquivalence:
     """Degenerate traversal batches: both engines must terminate
     cleanly with identical functional results and matching stats."""
