@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Serving-layer smoke benchmark → ``BENCH_serve.json``.
+
+Runs the bounded open-loop loadtest (``repro.serve.loadtest``) at a few
+offered-load points per platform and records baseline QPS and latency
+percentiles.  Two kinds of numbers come out:
+
+* **Virtual-time results** (``achieved_qps``, ``p50_ms``/``p99_ms``,
+  ``mean_batch_size``, ``sim_cycles``) — deterministic for a given
+  seed/profile/scheduler fingerprint; drift here means the *model*
+  changed, not the machine.
+* **Host wall time** (``wall_s``, min over ``--reps``) — how long the
+  loadtest itself takes to simulate; this tracks simulator throughput
+  on the serving path the way BENCH_core tracks the one-shot path.
+
+Non-gating: CI runs this in the informational perf-smoke job and
+uploads the JSON as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --out BENCH_serve.json --scale smoke --reps 2 \
+        --platforms gpu,tta,ttaplus --qps 1000,4000
+"""
+
+import argparse
+import json
+import pathlib
+import platform as platform_mod
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.serve import (  # noqa: E402
+    BatchPolicy,
+    LaunchBackend,
+    LoadProfile,
+    SERVE_SCALES,
+    build_resident_index,
+    run_loadtest,
+)
+from repro.sim import scheduler_fingerprint  # noqa: E402
+
+DEFAULT_PLATFORMS = "gpu,tta,ttaplus"
+DEFAULT_QPS = "1000,4000"
+
+
+def bench(scale: str, platforms, qps_values, duration: float,
+          warmup: float, seed: int, reps: int) -> dict:
+    indexes = {}
+    build_s = {}
+    for cls in ("point", "range", "knn", "radius"):
+        started = time.perf_counter()
+        indexes[cls] = build_resident_index(cls, SERVE_SCALES[scale][cls])
+        build_s[cls] = time.perf_counter() - started
+    profile = LoadProfile(qps=qps_values[0], duration_s=duration,
+                          warmup_s=warmup, seed=seed)
+    policy = BatchPolicy(max_batch=32, max_wait_s=2e-3)
+
+    points = {}
+    for platform in platforms:
+        backend = LaunchBackend(platform)
+        rows = []
+        for qps in qps_values:
+            from dataclasses import replace
+            leg = replace(profile, qps=qps)
+            walls, report = [], None
+            for _ in range(reps):
+                started = time.perf_counter()
+                report = run_loadtest(platform, indexes, leg,
+                                      policy=policy, backend=backend)
+                walls.append(time.perf_counter() - started)
+            doc = report.to_dict()
+            rows.append({
+                "qps": qps,
+                "offered_qps": doc["offered_qps"],
+                "achieved_qps": doc["achieved_qps"],
+                "p50_ms": doc["latency_ms"]["p50_ms"],
+                "p95_ms": doc["latency_ms"]["p95_ms"],
+                "p99_ms": doc["latency_ms"]["p99_ms"],
+                "served": doc["served"],
+                "batches": doc["batches"],
+                "mean_batch_size": doc["mean_batch_size"],
+                "degraded_batches": doc["degraded_batches"],
+                "sim_cycles": doc["sim_cycles"],
+                "wall_s": min(walls),
+                "wall_reps": walls,
+            })
+            print(f"{platform:8s} @ {qps:7g} qps: achieved "
+                  f"{rows[-1]['achieved_qps']:8.0f}, p50 "
+                  f"{rows[-1]['p50_ms']:.3f}ms, p99 "
+                  f"{rows[-1]['p99_ms']:.3f}ms, wall "
+                  f"{rows[-1]['wall_s']:.2f}s", file=sys.stderr)
+        points[platform] = rows
+    return {
+        "build_seconds": build_s,
+        "profile": {"duration_s": duration, "warmup_s": warmup,
+                    "seed": seed, "arrival": profile.arrival,
+                    "mix": dict(profile.mix)},
+        "policy": {"max_batch": policy.max_batch,
+                   "max_wait_s": policy.max_wait_s},
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_serve.json"))
+    parser.add_argument("--scale", default="smoke",
+                        choices=sorted(SERVE_SCALES))
+    parser.add_argument("--platforms", default=DEFAULT_PLATFORMS)
+    parser.add_argument("--qps", default=DEFAULT_QPS)
+    parser.add_argument("--duration", type=float, default=0.25)
+    parser.add_argument("--warmup", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    platforms = [p.strip() for p in args.platforms.split(",") if p.strip()]
+    qps_values = [float(q) for q in args.qps.split(",") if q.strip()]
+    doc = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "package_version": __version__,
+        "scheduler_fingerprint": scheduler_fingerprint(),
+        "python": platform_mod.python_version(),
+        "platform": platform_mod.platform(),
+        "scale": args.scale,
+        "reps": args.reps,
+    }
+    doc.update(bench(args.scale, platforms, qps_values, args.duration,
+                     args.warmup, args.seed, args.reps))
+    args.out.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"[bench_serve] written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

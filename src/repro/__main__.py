@@ -9,6 +9,8 @@ Examples::
     python -m repro run fig13 --metrics-out results/fig13.metrics.json
     python -m repro trace fig12 --scale smoke -o trace.json
     python -m repro sweep btree --param n_keys=4096,16384 --jobs 4
+    python -m repro loadtest --platform gpu,tta,ttaplus --qps 500,2000
+    python -m repro serve --platform tta --input queries.jsonl
     python -m repro cache stats
     python -m repro cache clear
 
@@ -88,11 +90,33 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
                              "formatted text")
 
 
+#: ``repro --help`` epilog: the subcommands, grouped by what they are
+#: for (argparse's flat listing hides the structure once there are
+#: seven of them).
+_COMMAND_GROUPS = """\
+command groups:
+  experiments (one-shot figure reproduction):
+    list                list available experiments
+    run                 run one or more experiments
+    sweep               custom parameter sweep over one workload family
+    trace               run one experiment with the cycle tracer on
+
+  serving (resident indexes, repro.serve):
+    serve               answer JSON-lines queries over warm indexes
+    loadtest            open-loop load generation -> QPS vs latency curves
+
+  maintenance:
+    cache               inspect or clear the on-disk result/build cache
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's figures on the behavioral "
                     "TTA/TTA+ simulator.",
+        epilog=_COMMAND_GROUPS,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -179,8 +203,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_options(sweep)
     _add_exec_options(sweep)
 
+    def _add_serve_options(p, default_scale="smoke"):
+        p.add_argument("--scale", default=default_scale,
+                       choices=("smoke", "small", "large"),
+                       help="resident-index construction scale "
+                            f"(default: {default_scale})")
+        p.add_argument("--mix", default="point,range,knn,radius",
+                       metavar="CLS[=W],...",
+                       help="query classes to serve, with optional "
+                            "weights (default: all four, equal)")
+        p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="close a batch at N queries (default: 32)")
+        p.add_argument("--max-wait-ms", type=float, default=2.0,
+                       metavar="MS",
+                       help="close a batch MS after its first query "
+                            "(default: 2.0)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the on-disk build cache")
+        p.add_argument("--guard", default=None,
+                       choices=("off", "watch", "on", "strict"),
+                       help="simulation guard mode (default: $REPRO_GUARD "
+                            "or on)")
+        p.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                       help="abort any launch whose clock passes N cycles")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve JSON-lines queries over resident indexes")
+    serve.add_argument("--platform", default="tta",
+                       choices=("gpu", "rta", "tta", "ttaplus"),
+                       help="platform to serve on (default: tta)")
+    serve.add_argument("--input", "-i", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="JSON-lines query file (default: stdin); each "
+                            "line is {\"class\": ..., \"qid\": N} or "
+                            "{\"class\": ..., \"payload\": ...}")
+    serve.add_argument("--out", "-o", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="write JSON-lines responses to PATH "
+                            "(default: stdout)")
+    _add_serve_options(serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="open-loop loadtest: QPS-vs-latency curves per platform")
+    loadtest.add_argument("--platform", default="gpu,tta,ttaplus",
+                          metavar="P1,P2,...",
+                          help="platforms to sweep (default: "
+                               "gpu,tta,ttaplus)")
+    loadtest.add_argument("--qps", default="500,1000,2000",
+                          metavar="Q1,Q2,...",
+                          help="offered load points (default: "
+                               "500,1000,2000)")
+    loadtest.add_argument("--duration", type=float, default=1.0,
+                          metavar="SEC",
+                          help="measurement window in virtual seconds "
+                               "(default: 1.0)")
+    loadtest.add_argument("--warmup", type=float, default=0.1, metavar="SEC",
+                          help="unmeasured lead-in at the same rate "
+                               "(default: 0.1)")
+    loadtest.add_argument("--arrival", default="poisson",
+                          choices=("poisson", "uniform", "burst"),
+                          help="arrival process (default: poisson)")
+    loadtest.add_argument("--burst-size", type=int, default=8, metavar="N",
+                          help="queries per burst in burst mode "
+                               "(default: 8)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="arrival-schedule seed (default: 0)")
+    loadtest.add_argument("--shards", type=int, default=1, metavar="N",
+                          help="simulated devices a batch shards across "
+                               "(default: 1)")
+    loadtest.add_argument("--out", "-o", type=pathlib.Path, default=None,
+                          metavar="PATH",
+                          help="write the full QPS-vs-latency curves as "
+                               "JSON to PATH")
+    loadtest.add_argument("--json", action="store_true",
+                          help="print the curves JSON to stdout instead "
+                               "of the summary table")
+    _add_serve_options(loadtest)
+
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache")
+        "cache", help="inspect or clear the on-disk result/build cache")
     cache.add_argument("action", choices=("stats", "clear"))
     return parser
 
@@ -475,11 +578,181 @@ def cmd_cache(action: str) -> int:
         stats = cache.stats()
         print(f"cache root: {stats['root']} (format {stats['format']})")
         print(f"entries:    {stats['entries']}")
+        print(f"builds:     {stats['builds']} (resident-index workloads)")
         print(f"size:       {stats['bytes'] / 1e6:.2f} MB")
         print(f"corrupt:    {stats['corrupt']} (quarantined)")
     else:
         removed = cache.clear()
-        print(f"removed {removed} cached run(s) from {cache.base}")
+        print(f"removed {removed} cached entries (runs + builds) "
+              f"from {cache.base}")
+    return 0
+
+
+# -- serving ---------------------------------------------------------------------
+def _build_indexes(mix_text: str, scale: str, no_cache: bool):
+    """Resident indexes for every class in a CLI mix string, routed
+    through the exec build cache; returns ``(indexes, mix)``."""
+    from repro.exec import ResultCache
+    from repro.serve import SERVE_SCALES, build_resident_index, parse_mix
+
+    mix = parse_mix(mix_text)
+    cache = None if no_cache else ResultCache()
+    indexes = {}
+    for cls in sorted(mix):
+        if mix[cls] <= 0:
+            continue
+        started = time.time()
+        indexes[cls] = build_resident_index(cls, SERVE_SCALES[scale][cls],
+                                            cache=cache)
+        how = "cached" if indexes[cls].from_cache else "built"
+        print(f"[serve] {cls}: {indexes[cls].spec.kind} index {how} in "
+              f"{time.time() - started:.2f}s "
+              f"(capacity {indexes[cls].capacity})", file=sys.stderr)
+    return indexes, mix
+
+
+def _serve_policy(args):
+    from repro.serve import BatchPolicy
+
+    return BatchPolicy(max_batch=args.max_batch,
+                       max_wait_s=args.max_wait_ms / 1e3)
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: answer JSON-lines queries over warm indexes."""
+    import asyncio
+    import json
+
+    from repro.serve import ServeService
+
+    indexes, _ = _build_indexes(args.mix, args.scale, args.no_cache)
+    service = ServeService(indexes, platform=args.platform,
+                           policy=_serve_policy(args))
+
+    if args.input is not None:
+        lines = args.input.read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    requests = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+            cls = record["class"]
+        except (ValueError, KeyError, TypeError):
+            print(f"[serve] bad query on line {lineno}: {line!r}",
+                  file=sys.stderr)
+            return 2
+        requests.append((cls, record.get("qid"), record.get("payload")))
+
+    async def run():
+        async with service:
+            return await asyncio.gather(
+                *[service.query(cls, qid=qid, payload=payload)
+                  for cls, qid, payload in requests],
+                return_exceptions=True)
+
+    responses = asyncio.run(run())
+    sink = args.out.open("w") if args.out is not None else sys.stdout
+    failures = 0
+    try:
+        for (cls, qid, _), response in zip(requests, responses):
+            if isinstance(response, BaseException):
+                failures += 1
+                record = {"class": cls, "qid": qid,
+                          "error": f"{type(response).__name__}: {response}"}
+            else:
+                record = {
+                    "class": response.query_class,
+                    "qid": response.qid,
+                    "result": _json_safe(response.result),
+                    "batch_size": response.batch_size,
+                    "sim_us": round(response.sim_seconds * 1e6, 3),
+                    "engine": response.engine,
+                }
+            print(json.dumps(record), file=sink)
+    finally:
+        if args.out is not None:
+            sink.close()
+    stats = service.stats()
+    print(f"[serve] {stats['queries_served']} queries in "
+          f"{stats['batches_served']} batches on {args.platform} "
+          f"({stats['degraded_batches']} degraded)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _json_safe(value):
+    """Query results are ints/bools/tuples of ints — flatten tuples."""
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def cmd_loadtest(args) -> int:
+    """``repro loadtest``: QPS-vs-latency curves per platform."""
+    import json
+
+    from repro.harness.results import Table
+    from repro.serve import LoadProfile, run_qps_sweep
+
+    platforms = [p.strip() for p in args.platform.split(",") if p.strip()]
+    valid = ("gpu", "rta", "tta", "ttaplus")
+    bad = [p for p in platforms if p not in valid]
+    if bad:
+        print(f"invalid platform(s): {', '.join(bad)} "
+              f"(valid: {', '.join(valid)})", file=sys.stderr)
+        return 2
+    try:
+        qps_values = [float(q) for q in args.qps.split(",") if q.strip()]
+    except ValueError:
+        print(f"bad --qps {args.qps!r}: expected Q1[,Q2,...]",
+              file=sys.stderr)
+        return 2
+    if not qps_values:
+        print("--qps needs at least one load point", file=sys.stderr)
+        return 2
+
+    indexes, mix = _build_indexes(args.mix, args.scale, args.no_cache)
+    profile = LoadProfile(qps=qps_values[0], duration_s=args.duration,
+                          warmup_s=args.warmup, mix=mix,
+                          arrival=args.arrival, burst_size=args.burst_size,
+                          seed=args.seed)
+
+    def progress(platform, qps):
+        print(f"[loadtest] {platform} @ {qps:g} qps ...", file=sys.stderr)
+
+    started = time.time()
+    sweep = run_qps_sweep(platforms, qps_values, indexes, profile,
+                          policy=_serve_policy(args), n_shards=args.shards,
+                          progress=progress)
+
+    if args.json:
+        print(json.dumps(sweep, indent=2, sort_keys=True))
+    else:
+        table = Table(
+            f"loadtest — {args.arrival} arrivals, "
+            f"{args.duration:g}s window, scale={args.scale}",
+            ["platform", "qps", "achieved", "p50_ms", "p95_ms", "p99_ms",
+             "batch", "degraded"],
+        )
+        for platform in platforms:
+            for row in sweep["curves"][platform]:
+                table.add_row(platform, row["qps"], row["achieved_qps"],
+                              row["latency_ms"]["p50_ms"],
+                              row["latency_ms"]["p95_ms"],
+                              row["latency_ms"]["p99_ms"],
+                              row["mean_batch_size"],
+                              row["degraded_batches"])
+        print(table.format())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(sweep, indent=2, sort_keys=True))
+        print(f"[loadtest] curves written to {args.out}", file=sys.stderr)
+    print(f"[loadtest] {len(platforms)} platform(s) x "
+          f"{len(qps_values)} load point(s) in {time.time() - started:.1f}s",
+          file=sys.stderr)
     return 0
 
 
@@ -495,6 +768,10 @@ def main(argv=None) -> int:
                          no_cache=args.no_cache, timeout=args.timeout)
     if args.command == "cache":
         return cmd_cache(args.action)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "loadtest":
+        return cmd_loadtest(args)
     if args.command == "trace":
         return cmd_trace(args.experiment, args.scale, args.out,
                          rate=args.rate, events=args.events,

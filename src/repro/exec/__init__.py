@@ -20,7 +20,13 @@ the disk cache and the worker pool.
 
 from typing import Optional
 
-from repro.exec.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    build_fingerprint,
+    build_key,
+    default_cache_dir,
+)
 from repro.exec.pool import Outcome, ParallelRunner, run_serial
 from repro.exec.service import (
     ExecutionService,
@@ -41,6 +47,8 @@ __all__ = [
     "RunRecord",
     "RunSpec",
     "StubResult",
+    "build_fingerprint",
+    "build_key",
     "code_fingerprint",
     "configure",
     "default_cache_dir",

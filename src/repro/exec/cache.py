@@ -5,6 +5,19 @@ Layout (one entry per :class:`~repro.exec.spec.RunSpec` key)::
     <root>/v1/<key[:2]>/<key>.pkl    pickled RunResult
     <root>/v1/<key[:2]>/<key>.json   spec + creation metadata (debuggable)
 
+Alongside run results the cache stores **index builds** — whole
+constructed workload objects (tree + memory image + query stream) under
+``<root>/builds/``.  Build entries are keyed by :func:`build_key`: the
+tree-construction parameters plus a *dataset fingerprint* (the
+generator source that turns those parameters into keys/points/windows),
+**not** a full RunSpec — platform, GPU config, and the simulator
+fingerprint play no part in how a tree is built, so a resident-index
+server (:mod:`repro.serve`) can reuse a build across platforms and
+engine revisions.  The fingerprint folds the source of ``repro.trees``
+and ``repro.workloads``: any change to dataset generation or tree
+construction changes every key, so a stale-keyed entry can never be
+written, let alone served.
+
 The pickle is the payload; the JSON sidecar exists so ``repro cache
 stats`` and humans can see *what* an entry is without unpickling it,
 and it carries the payload's SHA-256 so reads are validated.  Writes
@@ -21,12 +34,14 @@ re-running the simulation (``tests/test_exec.py`` asserts this), so
 resuming an interrupted sweep only executes the missing points.
 """
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
 import pickle
 import shutil
+import sys
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -37,6 +52,49 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: On-disk format version: bump when the entry layout/serialization
 #: changes.  Distinct from the spec schema, which governs *keys*.
 FORMAT = "v1"
+
+#: Modules whose source defines dataset generation and tree
+#: construction; their hash is the "dataset fingerprint" component of
+#: every build key.
+_BUILD_SOURCE_PACKAGES = ("trees", "workloads")
+
+_build_fingerprint_memo: Optional[str] = None
+
+
+def build_fingerprint() -> str:
+    """Hash of every source file that shapes a built index.
+
+    Covers ``repro.trees`` (node layouts, bulk-load algorithms) and
+    ``repro.workloads`` (dataset generators, buffer placement).  A
+    build entry written under one fingerprint is invisible under any
+    other, so construction-code drift invalidates builds wholesale.
+    """
+    global _build_fingerprint_memo
+    if _build_fingerprint_memo is None:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for package in _BUILD_SOURCE_PACKAGES:
+            for path in sorted((root / package).glob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+        _build_fingerprint_memo = digest.hexdigest()[:12]
+    return _build_fingerprint_memo
+
+
+def build_key(kind: str, params: Dict[str, Any]) -> str:
+    """Content address of one index build.
+
+    Keyed on the workload family, its construction parameters (which,
+    with the seed, fully determine the dataset), and
+    :func:`build_fingerprint` — and on nothing else: no platform, no
+    GPU config, no scheduler fingerprint.  Those belong to *runs*, not
+    builds, and folding them in would make resident-index reuse
+    spuriously miss.
+    """
+    canonical = json.dumps(
+        {"kind": kind, "params": params, "build": build_fingerprint()},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -164,6 +222,98 @@ class ResultCache:
             fh.write(payload)
         os.replace(tmp, path)
 
+    # -- index builds -----------------------------------------------------------
+    #: Pickling a tree follows its node links recursively; a large
+    #: B-Tree's leaf chain runs thousands of nodes deep, far past the
+    #: default limit of 1000 (the large-scale serve preset needs ~70k).
+    _BUILD_RECURSION_LIMIT = 200_000
+
+    @contextlib.contextmanager
+    def _deep_pickle(self):
+        previous = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(previous, self._BUILD_RECURSION_LIMIT))
+        try:
+            yield
+        finally:
+            sys.setrecursionlimit(previous)
+
+    def _build_paths(self, key: str) -> Tuple[pathlib.Path, pathlib.Path]:
+        shard = self.base / "builds" / key[:2]
+        return shard / f"{key}.pkl", shard / f"{key}.json"
+
+    def get_build(self, key: str) -> Optional[Any]:
+        """Return the cached workload build for ``key``, or None.
+
+        Validation mirrors :meth:`get`: the payload must match the
+        sidecar's SHA-256 and unpickle cleanly; anything else is
+        quarantined and reported as a miss.
+        """
+        pkl, meta = self._build_paths(key)
+        try:
+            with open(pkl, "rb") as fh:
+                payload = fh.read()
+            expected = self._expected_sha(meta)
+            if expected is not None and \
+                    hashlib.sha256(payload).hexdigest() != expected:
+                raise ValueError(f"build entry {key} fails its checksum")
+            with self._deep_pickle():
+                return pickle.loads(payload)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._quarantine_build(key)
+            return None
+
+    def put_build(self, key: str, workload: Any,
+                  kind: Optional[str] = None,
+                  params: Optional[Dict[str, Any]] = None,
+                  seconds: Optional[float] = None) -> bool:
+        """Store one built workload; returns False if it won't pickle.
+
+        An unpicklable workload is a soft miss — the caller keeps its
+        in-memory object and the next process rebuilds — never an
+        error on the serving path.
+        """
+        pkl, meta = self._build_paths(key)
+        try:
+            with self._deep_pickle():
+                payload = pickle.dumps(workload, protocol=4)
+        except Exception:
+            return False
+        pkl.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(pkl, payload)
+        sidecar = {
+            "kind": kind,
+            "params": params,
+            "build_fingerprint": build_fingerprint(),
+            "created": time.time(),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        if seconds is not None:
+            sidecar["seconds"] = seconds
+        self._atomic_write(meta, json.dumps(sidecar, indent=1).encode())
+        return True
+
+    def _quarantine_build(self, key: str) -> None:
+        corrupt_dir = self.base / "corrupt"
+        try:
+            corrupt_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            corrupt_dir = None
+        for path in self._build_paths(key):
+            moved = False
+            if corrupt_dir is not None:
+                try:
+                    os.replace(path, corrupt_dir / path.name)
+                    moved = True
+                except OSError:
+                    pass
+            if not moved:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
     # -- maintenance -----------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         entries = 0
@@ -179,12 +329,26 @@ class ResultCache:
         corrupt_dir = self.base / "corrupt"
         if corrupt_dir.is_dir():
             corrupt = sum(1 for _ in corrupt_dir.glob("*.pkl"))
+        builds = 0
+        builds_dir = self.base / "builds"
+        if builds_dir.is_dir():
+            for path in builds_dir.rglob("*.pkl"):
+                builds += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
         return {"root": str(self.base), "format": FORMAT,
-                "entries": entries, "bytes": size, "corrupt": corrupt}
+                "entries": entries, "builds": builds, "bytes": size,
+                "corrupt": corrupt}
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = self.stats()["entries"]
+        """Delete every entry (runs and builds); returns how many."""
+        stats = self.stats()
+        removed = stats["entries"] + stats["builds"]
         if self.root.is_dir():
             shutil.rmtree(self.root, ignore_errors=True)
+        builds_dir = self.base / "builds"
+        if builds_dir.is_dir():
+            shutil.rmtree(builds_dir, ignore_errors=True)
         return removed

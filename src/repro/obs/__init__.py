@@ -30,6 +30,7 @@ from repro.obs.export import (
     write_metrics_json,
 )
 from repro.obs.metrics import (
+    DEFAULT_MAX_BUCKETS,
     EMPTY_METRICS,
     Histogram,
     MetricsRegistry,
@@ -55,6 +56,7 @@ from repro.obs.tracer import (
 __all__ = [
     "CATEGORIES",
     "DEFAULT_CAPACITY",
+    "DEFAULT_MAX_BUCKETS",
     "EMPTY_METRICS",
     "Histogram",
     "MetricsRegistry",

@@ -40,22 +40,60 @@ _POOL_FIELDS = ("ops", "busy_cycles", "occupancy_avg", "occupancy_peak",
                 "latency_mean")
 
 
-class TimeSeries:
-    """Values accumulated into fixed-width cycle buckets."""
+#: Default retention window, in buckets.  At the default 1024-cycle
+#: bucket this covers ~67M cycles — far beyond any single launch, but a
+#: hard ceiling so a series fed by a long-lived process (a
+#: ``repro.serve`` loadtest spanning minutes of virtual time) stays
+#: bounded: once full, the *oldest* buckets roll off, flight-recorder
+#: style, and ``dropped_buckets`` records how many.
+DEFAULT_MAX_BUCKETS = 65_536
 
-    __slots__ = ("bucket", "values")
+
+class TimeSeries:
+    """Values accumulated into fixed-width cycle buckets.
+
+    Retention is windowed: at most ``max_buckets`` distinct buckets are
+    held; adding to a bucket beyond that evicts the oldest ones.
+    ``max_buckets=None`` disables the bound (callers that *know* their
+    series is short-lived).
+    """
+
+    __slots__ = ("bucket", "values", "max_buckets", "dropped_buckets")
 
     def __init__(self, bucket: float = 1024.0,
-                 values: Optional[Dict[int, float]] = None):
+                 values: Optional[Dict[int, float]] = None,
+                 max_buckets: Optional[int] = DEFAULT_MAX_BUCKETS):
         if bucket <= 0:
             raise ValueError(f"bucket width must be positive, got {bucket}")
+        if max_buckets is not None and max_buckets < 1:
+            raise ValueError(
+                f"max_buckets must be >= 1 or None, got {max_buckets}")
         self.bucket = bucket
         self.values: Dict[int, float] = values if values is not None else {}
+        self.max_buckets = max_buckets
+        self.dropped_buckets = 0
 
     def add(self, t: float, amount: float) -> None:
         index = int(t // self.bucket)
         values = self.values
-        values[index] = values.get(index, 0.0) + amount
+        if index in values:
+            values[index] += amount
+            return
+        values[index] = amount
+        if self.max_buckets is not None and len(values) > self.max_buckets:
+            # Evict the oldest bucket (smallest index).  Time advances
+            # monotonically in every producer, so eviction is rare —
+            # O(n) only on the add that crosses the window edge.
+            del values[min(values)]
+            self.dropped_buckets += 1
+
+    def __setstate__(self, state) -> None:
+        """Restore pickles, defaulting fields older snapshots lack."""
+        _, slots = state if isinstance(state, tuple) else (None, state)
+        self.bucket = slots.get("bucket", 1024.0)
+        self.values = slots.get("values", {})
+        self.max_buckets = slots.get("max_buckets", DEFAULT_MAX_BUCKETS)
+        self.dropped_buckets = slots.get("dropped_buckets", 0)
 
     def points(self) -> List[Tuple[float, float]]:
         """Sorted ``(bucket_start_cycle, total)`` pairs."""
@@ -73,7 +111,11 @@ class TimeSeries:
         return sum(self.values.values())
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"bucket": self.bucket, "points": self.points()}
+        out: Dict[str, Any] = {"bucket": self.bucket,
+                               "points": self.points()}
+        if self.dropped_buckets:
+            out["dropped_buckets"] = self.dropped_buckets
+        return out
 
 
 class Histogram:

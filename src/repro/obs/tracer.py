@@ -46,7 +46,10 @@ TRACE_EVENTS_ENV = "REPRO_TRACE_EVENTS"
 DEFAULT_CAPACITY = 1_000_000
 
 #: The categories the emit points use, in canonical track order.
-CATEGORIES = ("scheduler", "sm", "rta", "memsys")
+#: ``serve`` is the query-serving layer (:mod:`repro.serve`): enqueue /
+#: batch / launch / complete lifecycle events in its virtual-time
+#: domain, mapped onto the cycle timeline via the service clock.
+CATEGORIES = ("scheduler", "sm", "rta", "memsys", "serve")
 
 Event = Tuple[str, str, str, float, float, object]
 

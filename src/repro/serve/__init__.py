@@ -1,0 +1,90 @@
+"""repro.serve — resident-index query serving over the simulator.
+
+The serving layer answers the question the one-shot harness cannot:
+*what do the accelerators buy at serving time?*  It keeps the four tree
+indexes warm (:mod:`repro.serve.index`), coalesces individually
+arriving queries into accelerator launches timeout-or-size
+(:mod:`repro.serve.batcher`), launches them through per-platform
+backends that reuse the harness's kernels and scaled configs verbatim
+(:mod:`repro.serve.backends`), and maps simulated cycles onto a
+wall-clock timeline (:mod:`repro.serve.clock`) so open-loop load
+generation (:mod:`repro.serve.loadgen`) yields latency percentiles and
+QPS-vs-latency curves (:mod:`repro.serve.loadtest`).  An asyncio facade
+(:mod:`repro.serve.service`) serves real callers with the same
+machinery.
+
+Entry points: ``repro serve`` / ``repro loadtest``; MODEL.md §10 has
+the semantics.
+"""
+
+from repro.serve.backends import BatchLaunch, LaunchBackend
+from repro.serve.batcher import (
+    Batch,
+    BatchPolicy,
+    MicroBatcher,
+    QueryRequest,
+)
+from repro.serve.clock import (
+    DEFAULT_CLOCK,
+    DEFAULT_CORE_MHZ,
+    DEFAULT_LAUNCH_OVERHEAD_S,
+    ServiceClock,
+)
+from repro.serve.index import (
+    QUERY_CLASSES,
+    SERVE_PLATFORMS,
+    SERVE_SCALES,
+    QueryClassSpec,
+    ResidentIndex,
+    build_resident_index,
+    query_class_spec,
+)
+from repro.serve.loadgen import (
+    ARRIVAL_PROCESSES,
+    DEFAULT_MIX,
+    Arrival,
+    LoadProfile,
+    generate_arrivals,
+    parse_mix,
+)
+from repro.serve.loadtest import (
+    ClassReport,
+    LoadtestReport,
+    percentile,
+    run_loadtest,
+    run_qps_sweep,
+)
+from repro.serve.service import QueryResponse, ServeService
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "Batch",
+    "BatchLaunch",
+    "BatchPolicy",
+    "ClassReport",
+    "DEFAULT_CLOCK",
+    "DEFAULT_CORE_MHZ",
+    "DEFAULT_LAUNCH_OVERHEAD_S",
+    "DEFAULT_MIX",
+    "LaunchBackend",
+    "LoadProfile",
+    "LoadtestReport",
+    "MicroBatcher",
+    "QUERY_CLASSES",
+    "QueryClassSpec",
+    "QueryRequest",
+    "QueryResponse",
+    "ResidentIndex",
+    "SERVE_PLATFORMS",
+    "SERVE_SCALES",
+    "ServeService",
+    "ServiceClock",
+    "build_resident_index",
+    "generate_arrivals",
+    "parse_mix",
+    "percentile",
+    "query_class_spec",
+    "run_loadtest",
+    "run_qps_sweep",
+]

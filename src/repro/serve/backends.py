@@ -1,0 +1,204 @@
+"""Per-platform batch launch backends for the serving layer.
+
+A :class:`LaunchBackend` turns one closed batch of same-class queries
+into one simulated kernel launch on its platform (baseline ``gpu``,
+``tta``, ``ttaplus``, or — radius only — stock ``rta``), using the same
+kernels, job lowering, and scaled GPU configuration as the one-shot
+harness runners, so a query's functional result and the cycle model it
+is timed under are *identical* to the batch-experiment path
+(``tests/test_serve.py`` asserts byte-identical results).
+
+**Degradation** (the ``repro.guard`` contract, serving edition): a
+launch that aborts with a :class:`~repro.errors.GuardError` — the
+watchdog detected a stall or an invariant broke on the fast engine —
+is retried once on the legacy reference engine
+(``REPRO_SIM_CORE=legacy``), exactly like exec-service quarantine.  The
+batch still completes and the response records ``engine="legacy"``;
+the service counts it under ``serve.degraded_batches``.  One poisoned
+batch can therefore never wedge the serving loop.
+"""
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, GuardError
+from repro.gpu import GPU
+from repro.gpu.config import GPUConfig
+from repro.serve.index import ResidentIndex
+
+
+@dataclass
+class BatchLaunch:
+    """One completed batch launch: timing plus per-slot results."""
+
+    platform: str
+    query_class: str
+    n_queries: int
+    cycles: float
+    #: batch-local slot -> functional result (slot i is the i-th query
+    #: of the batch, in submission order).
+    results: Dict[int, Any]
+    stats: Any
+    engine: str = "fast"
+    error: Optional[str] = None
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+
+def _accelerator_factory(platform: str):
+    from repro.core.ttaplus import make_ttaplus_factory
+    from repro.rta.rta import make_rta_factory
+
+    if platform == "gpu":
+        return None
+    if platform == "rta":
+        return make_rta_factory(tta=False)
+    if platform == "tta":
+        return make_rta_factory(tta=True)
+    if platform in ("ttaplus", "ttaplus_opt"):
+        return make_ttaplus_factory()
+    raise ConfigurationError(f"no serve backend for platform {platform!r}")
+
+
+class LaunchBackend:
+    """Launches batches for one platform over resident indexes."""
+
+    def __init__(self, platform: str,
+                 config: Optional[GPUConfig] = None,
+                 guard=None, max_verify: int = 0):
+        self.platform = platform
+        self.guard = guard
+        #: Verify up to this many queries per batch against the golden
+        #: reference (0 = trust the kernels' functional model, which the
+        #: equivalence tests oracle).
+        self.max_verify = max_verify
+        self._factory = _accelerator_factory(platform)
+        self._explicit_config = config
+        self._configs: Dict[int, GPUConfig] = {}
+        self.launches = 0
+        self.degraded = 0
+
+    # -- config ----------------------------------------------------------------
+    def config_for(self, index: ResidentIndex) -> GPUConfig:
+        """The same scaled-cache policy the one-shot runners default to,
+        derived once per resident index (the tree footprint is fixed
+        for the index's lifetime)."""
+        if self._explicit_config is not None:
+            return self._explicit_config
+        config = self._configs.get(id(index))
+        if config is None:
+            from repro.harness.runner import scaled_config_for
+
+            config = scaled_config_for(index.workload.image.size_bytes)
+            self._configs[id(index)] = config
+        return config
+
+    # -- launching ---------------------------------------------------------------
+    def launch(self, index: ResidentIndex,
+               qids: Sequence[int]) -> BatchLaunch:
+        """Launch one batch of canonical query ids."""
+        if self.platform not in index.spec.platforms:
+            raise ConfigurationError(
+                f"query class {index.query_class!r} cannot serve on "
+                f"{self.platform!r} (valid: {index.spec.platforms})"
+            )
+        payloads = [index.payload(qid) for qid in qids]
+        if self.platform == "gpu":
+            jobs_builder = lambda: []                       # noqa: E731
+            kernel = index.spec.baseline_kernel
+        else:
+            jobs_builder = lambda: index.batch_jobs(        # noqa: E731
+                qids, self.platform)
+            kernel = index.spec.accel_kernel
+        launch = self._run(index, kernel, payloads, jobs_builder)
+        if self.max_verify:
+            self._verify(index, qids, launch.results)
+        return launch
+
+    def launch_payloads(self, index: ResidentIndex,
+                        payloads: Sequence[Any]) -> BatchLaunch:
+        """Launch one batch of raw (ad-hoc) query payloads."""
+        if self.platform == "gpu":
+            jobs_builder = lambda: []                       # noqa: E731
+            kernel = index.spec.baseline_kernel
+        else:
+            jobs_builder = lambda: index.spec.build_jobs(   # noqa: E731
+                index.workload, payloads, self.platform)
+            kernel = index.spec.accel_kernel
+        return self._run(index, kernel, payloads, jobs_builder)
+
+    def _run(self, index: ResidentIndex, kernel, payloads,
+             jobs_builder) -> BatchLaunch:
+        """One guarded launch; retried on the legacy engine if the fast
+        engine trips the guard.
+
+        ``jobs_builder`` is called per attempt: a kernel launch consumes
+        nothing from the args, but a guard abort can leave a partially
+        filled results dict, so every attempt gets pristine args.
+        """
+        if not payloads:
+            raise ConfigurationError("cannot launch an empty batch")
+        config = self.config_for(index)
+        self.launches += 1
+        args = index.batch_args(payloads, jobs_builder())
+        gpu = GPU(config, accelerator_factory=self._factory)
+        try:
+            stats = gpu.launch(kernel, len(payloads), args=args,
+                               guard=self.guard)
+            engine, error = "fast", None
+        except GuardError as exc:
+            self.degraded += 1
+            error = f"{type(exc).__name__}: {exc}"
+            args = index.batch_args(payloads, jobs_builder())
+            stats = self._legacy_retry(kernel, len(payloads), args, config)
+            engine = "legacy"
+        return BatchLaunch(self.platform, index.query_class, len(payloads),
+                           stats.cycles, dict(args.results), stats,
+                           engine=engine, error=error)
+
+    def _legacy_retry(self, kernel, n_threads: int, args, config):
+        """Second opinion from the reference engine (immune to the
+        fast-path fault seams — see ``repro.guard.faults``)."""
+        from repro.sim import CORE_ENV
+
+        previous = os.environ.get(CORE_ENV)
+        os.environ[CORE_ENV] = "legacy"
+        try:
+            gpu = GPU(config, accelerator_factory=self._factory)
+            return gpu.launch(kernel, n_threads, args=args, guard=self.guard)
+        finally:
+            if previous is None:
+                os.environ.pop(CORE_ENV, None)
+            else:
+                os.environ[CORE_ENV] = previous
+
+    # -- verification -------------------------------------------------------------
+    def _verify(self, index: ResidentIndex, qids: Sequence[int],
+                results: Dict[int, Any]) -> None:
+        """Spot-check batch results against the workload's golden
+        reference (same checks as the one-shot runners, sampled)."""
+        wl = index.workload
+        step = max(1, len(qids) // self.max_verify)
+        for slot in range(0, len(qids), step):
+            qid = qids[slot]
+            got = results[slot]
+            if index.query_class == "point":
+                assert got == wl.golden[qid], (
+                    f"point query {qid}: got {got}, "
+                    f"expected {wl.golden[qid]}")
+            elif index.query_class == "range":
+                assert tuple(sorted(got)) == wl.golden(wl.windows[qid]), (
+                    f"range query {qid}: result mismatch")
+            elif index.query_class == "radius":
+                assert tuple(sorted(got)) == wl.golden(wl.queries[qid]), (
+                    f"radius query {qid}: neighbour set mismatch")
+            else:  # knn: distance multiset (ties may order differently)
+                q = wl.queries[qid]
+                pts = wl.tree.points
+                got_d = sorted((pts[i] - q).length_squared() for i in got)
+                exp_d = sorted((pts[i] - q).length_squared()
+                               for i in wl.golden(q))
+                assert all(abs(a - b) < 1e-9
+                           for a, b in zip(got_d, exp_d)) \
+                    and len(got_d) == len(exp_d), (
+                        f"knn query {qid}: distance mismatch")

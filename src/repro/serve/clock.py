@@ -1,0 +1,59 @@
+"""Cycle → wall-clock mapping for the serving layer.
+
+The simulator is a cycle-domain model; a serving system lives in
+seconds.  :class:`ServiceClock` bridges the two: simulated launch
+durations (cycles at the Table II core clock, 1365 MHz) become
+wall-clock time on the service's virtual timeline, plus a fixed
+host-side launch overhead per kernel dispatch (driver + queue push; the
+paper's one-shot experiments never pay it because they measure a single
+launch, but a serving path pays it per batch).
+
+Everything here is pure arithmetic — the clock never reads real time,
+so loadtests are deterministic and replayable.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Table II compute clock.
+DEFAULT_CORE_MHZ = 1365.0
+
+#: Host-side cost of one kernel dispatch, seconds (~5µs: stream push +
+#: driver submit on a warm context).
+DEFAULT_LAUNCH_OVERHEAD_S = 5e-6
+
+
+@dataclass(frozen=True)
+class ServiceClock:
+    """Maps simulated cycles onto the service's wall-clock timeline."""
+
+    core_mhz: float = DEFAULT_CORE_MHZ
+    launch_overhead_s: float = DEFAULT_LAUNCH_OVERHEAD_S
+
+    def __post_init__(self) -> None:
+        if self.core_mhz <= 0:
+            raise ConfigurationError(
+                f"core clock must be positive, got {self.core_mhz}")
+        if self.launch_overhead_s < 0:
+            raise ConfigurationError("launch overhead cannot be negative")
+
+    @property
+    def hz(self) -> float:
+        return self.core_mhz * 1e6
+
+    def seconds(self, cycles: float) -> float:
+        """Pure cycle time, no dispatch overhead."""
+        return cycles / self.hz
+
+    def launch_seconds(self, cycles: float) -> float:
+        """Wall-clock cost of one kernel dispatch of ``cycles`` cycles."""
+        return self.launch_overhead_s + cycles / self.hz
+
+    def cycles(self, seconds: float) -> float:
+        """Inverse mapping (used to place serve events on the cycle
+        timeline for the tracer)."""
+        return seconds * self.hz
+
+
+DEFAULT_CLOCK = ServiceClock()

@@ -1,0 +1,362 @@
+"""Deterministic virtual-time loadtest: the measured serving core.
+
+The loadtest replays an open-loop arrival schedule
+(:mod:`repro.serve.loadgen`) against resident indexes on one platform
+and reports latency percentiles — entirely in *virtual time*.  No real
+sleeps, no real clocks: arrivals, batch deadlines, device occupancy,
+and completions all live on one simulated wall-clock timeline, so a
+given ``(profile, platform, policy)`` triple always produces the same
+percentiles, byte for byte.
+
+The event loop is a plain heap of ``(t, seq)``-ordered events:
+
+* **arrival** — admission check, then offer to the
+  :class:`~repro.serve.batcher.MicroBatcher`; a batch that closes on
+  size dispatches immediately,
+* **deadline** — generation-checked timeout closure of an open batch.
+
+Dispatch shards a closed batch across ``n_shards`` simulated devices:
+each shard runs as one kernel launch through the platform's
+:class:`~repro.serve.backends.LaunchBackend` (real simulated cycles),
+lands on the earliest-free device, and occupies it for
+``clock.launch_seconds(cycles)``.  A query's latency is
+``completion - arrival`` where completion is the max over its batch's
+shard finish times — queueing delay, batching wait, and simulated
+kernel time all included, which is exactly what an open-loop load test
+is supposed to surface (MODEL.md §10).
+"""
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.serve.backends import LaunchBackend
+from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher, QueryRequest
+from repro.serve.clock import DEFAULT_CLOCK, ServiceClock
+from repro.serve.index import ResidentIndex
+from repro.serve.loadgen import LoadProfile, generate_arrivals
+
+#: Percentiles every report carries.
+REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile over a *sorted* sample list."""
+    if not samples:
+        return 0.0
+    if not 0.0 < pct <= 100.0:
+        raise ConfigurationError(f"percentile out of range: {pct}")
+    rank = max(1, -(-len(samples) * pct // 100.0))  # ceil
+    return samples[int(rank) - 1]
+
+
+@dataclass
+class ClassReport:
+    """Latency summary for one query class."""
+
+    query_class: str
+    served: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        ordered = sorted(self.latencies_ms)
+        out: Dict[str, Any] = {"served": self.served}
+        for pct in REPORT_PERCENTILES:
+            out[f"p{pct:g}_ms"] = percentile(ordered, pct)
+        if ordered:
+            out["mean_ms"] = sum(ordered) / len(ordered)
+            out["max_ms"] = ordered[-1]
+        return out
+
+
+@dataclass
+class LoadtestReport:
+    """One platform × profile loadtest result."""
+
+    platform: str
+    profile: LoadProfile
+    n_shards: int
+    policy: BatchPolicy
+    classes: Dict[str, ClassReport] = field(default_factory=dict)
+    offered: int = 0              # measured-window arrivals
+    served: int = 0               # measured-window completions
+    rejected: int = 0
+    batches: int = 0
+    degraded_batches: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+    sim_cycles: float = 0.0       # total simulated kernel cycles
+    t_end: float = 0.0            # virtual time of the last completion
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+    @property
+    def offered_qps(self) -> float:
+        return self.offered / self.profile.duration_s
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.served / self.profile.duration_s
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (sum(self.batch_sizes) / len(self.batch_sizes)
+                if self.batch_sizes else 0.0)
+
+    def all_latencies_ms(self) -> List[float]:
+        out: List[float] = []
+        for report in self.classes.values():
+            out.extend(report.latencies_ms)
+        out.sort()
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        ordered = self.all_latencies_ms()
+        overall: Dict[str, Any] = {}
+        for pct in REPORT_PERCENTILES:
+            overall[f"p{pct:g}_ms"] = percentile(ordered, pct)
+        return {
+            "platform": self.platform,
+            "qps": self.profile.qps,
+            "arrival": self.profile.arrival,
+            "duration_s": self.profile.duration_s,
+            "warmup_s": self.profile.warmup_s,
+            "seed": self.profile.seed,
+            "n_shards": self.n_shards,
+            "policy": {"max_batch": self.policy.max_batch,
+                       "max_wait_s": self.policy.max_wait_s},
+            "offered": self.offered,
+            "served": self.served,
+            "rejected": self.rejected,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "batches": self.batches,
+            "degraded_batches": self.degraded_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "sim_cycles": self.sim_cycles,
+            "latency_ms": overall,
+            "classes": {cls: report.summary()
+                        for cls, report in sorted(self.classes.items())},
+        }
+
+
+class _Devices:
+    """Earliest-free assignment over ``n`` simulated devices."""
+
+    def __init__(self, n: int):
+        self.free_at = [0.0] * n
+
+    def assign(self, ready: float, duration: float) -> float:
+        """Occupy the earliest-free device; returns the finish time."""
+        slot = min(range(len(self.free_at)), key=self.free_at.__getitem__)
+        start = max(ready, self.free_at[slot])
+        finish = start + duration
+        self.free_at[slot] = finish
+        return finish
+
+
+def _shard(qids: Sequence[int], n_shards: int) -> List[List[int]]:
+    n = min(n_shards, len(qids))
+    base, extra = divmod(len(qids), n)
+    shards, at = [], 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        shards.append(list(qids[at:at + size]))
+        at += size
+    return shards
+
+
+def run_loadtest(platform: str,
+                 indexes: Dict[str, ResidentIndex],
+                 profile: LoadProfile,
+                 policy: Optional[BatchPolicy] = None,
+                 clock: ServiceClock = DEFAULT_CLOCK,
+                 n_shards: int = 1,
+                 max_pending: Optional[int] = None,
+                 backend: Optional[LaunchBackend] = None,
+                 guard=None,
+                 tracer=None) -> LoadtestReport:
+    """Replay one open-loop profile against ``indexes`` on ``platform``.
+
+    ``indexes`` must cover every class in the profile's mix.
+    ``max_pending`` is optional admission control: an arrival that finds
+    that many queries still in flight is rejected (counted, not served).
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    policy = policy or BatchPolicy()
+    for cls in profile.classes():
+        if cls not in indexes:
+            raise ConfigurationError(
+                f"profile mixes query class {cls!r} but no resident "
+                f"index was built for it")
+        if policy.max_batch > indexes[cls].capacity:
+            raise ConfigurationError(
+                f"max_batch {policy.max_batch} exceeds the {cls!r} "
+                f"index's buffer capacity {indexes[cls].capacity}")
+    if backend is None:
+        backend = LaunchBackend(platform, guard=guard)
+    elif backend.platform != platform:
+        raise ConfigurationError(
+            f"backend is for {backend.platform!r}, loadtest for "
+            f"{platform!r}")
+
+    capacities = {cls: idx.n_canonical for cls, idx in indexes.items()}
+    arrivals = generate_arrivals(profile, capacities)
+
+    report = LoadtestReport(platform, profile, n_shards, policy)
+    registry = MetricsRegistry()
+    batcher = MicroBatcher(policy)
+    devices = _Devices(n_shards)
+    # Arrival index of every query still in flight, popped as virtual
+    # time passes its completion (admission control's "pending" count).
+    in_flight: List[float] = []
+    degraded_before = backend.degraded
+
+    events: List[tuple] = []
+    seq = 0
+    for arrival in arrivals:
+        events.append((arrival.t, seq, "arrival", arrival))
+        seq += 1
+    heapq.heapify(events)
+
+    def note(name: str, delta: float = 1.0) -> None:
+        registry.add(name, delta)
+
+    def emit(name: str, t: float, dur_s: float = 0.0, arg=None) -> None:
+        if tracer is not None:
+            tracer.emit("serve", platform, name, clock.cycles(t),
+                        clock.cycles(dur_s) if dur_s else 0.0, arg)
+
+    def dispatch(batch: Batch) -> None:
+        index = indexes[batch.query_class]
+        report.batches += 1
+        report.batch_sizes.append(batch.size)
+        note("serve.batches")
+        note(f"serve.batch.{batch.closed_by}")
+        registry.histogram("serve.batch_size").observe(batch.size)
+        emit("batch", batch.t_close, arg={
+            "class": batch.query_class, "size": batch.size,
+            "closed_by": batch.closed_by})
+        finishes: List[float] = []
+        for shard_qids in _shard(batch.qids, n_shards):
+            launch = backend.launch(index, shard_qids)
+            report.sim_cycles += launch.cycles
+            duration = clock.launch_seconds(launch.cycles)
+            finish = devices.assign(batch.t_close, duration)
+            finishes.append(finish)
+            note("serve.launches")
+            note("serve.sim_cycles", launch.cycles)
+            emit("launch", finish - duration, duration, arg={
+                "class": batch.query_class, "queries": len(shard_qids),
+                "cycles": launch.cycles, "engine": launch.engine})
+        t_done = max(finishes)
+        report.t_end = max(report.t_end, t_done)
+        emit("complete", t_done, arg={"class": batch.query_class,
+                                      "size": batch.size})
+        for query in batch.queries:
+            heapq.heappush(in_flight, t_done)
+            arrival = query.payload  # the Arrival this request wraps
+            if arrival.measured:
+                report.served += 1
+                note("serve.queries_served")
+                latency_ms = (t_done - query.t_arrival) * 1e3
+                cls_report = report.classes.setdefault(
+                    batch.query_class, ClassReport(batch.query_class))
+                cls_report.served += 1
+                cls_report.latencies_ms.append(latency_ms)
+                registry.histogram("serve.latency_ms").observe(latency_ms)
+
+    while events:
+        t, _, kind, payload = heapq.heappop(events)
+        while in_flight and in_flight[0] <= t:
+            heapq.heappop(in_flight)
+        if kind == "arrival":
+            note("serve.queries_offered")
+            if payload.measured:
+                report.offered += 1
+            if max_pending is not None and \
+                    len(in_flight) + batcher.pending() >= max_pending:
+                report.rejected += 1
+                note("serve.queries_rejected")
+                continue
+            emit("enqueue", t, arg={"class": payload.query_class,
+                                    "qid": payload.qid})
+            request = QueryRequest(seq, payload.query_class, payload.qid,
+                                   payload=payload, t_arrival=t)
+            seq += 1
+            had_open = batcher.generation(payload.query_class) is not None
+            closed = batcher.offer(request)
+            if closed is not None:
+                dispatch(closed)
+            elif not had_open:
+                # This arrival opened a new batch: arm its timeout.
+                deadline = batcher.deadline(payload.query_class)
+                generation = batcher.generation(payload.query_class)
+                heapq.heappush(events, (deadline, seq, "deadline",
+                                        (payload.query_class, generation)))
+                seq += 1
+        else:  # deadline (stale ones no-op via the generation token)
+            cls, generation = payload
+            closed = batcher.expire(cls, t, generation)
+            if closed is not None:
+                dispatch(closed)
+
+    for batch in batcher.flush(report.t_end):   # defensive; heap drains all
+        dispatch(batch)
+
+    report.degraded_batches = backend.degraded - degraded_before
+    registry.set("serve.degraded_batches", report.degraded_batches)
+    registry.set("serve.offered_qps", report.offered_qps)
+    registry.set("serve.achieved_qps", report.achieved_qps)
+    report.metrics = registry.snapshot()
+    return report
+
+
+def run_qps_sweep(platforms: Sequence[str],
+                  qps_values: Sequence[float],
+                  indexes: Dict[str, ResidentIndex],
+                  profile: LoadProfile,
+                  policy: Optional[BatchPolicy] = None,
+                  clock: ServiceClock = DEFAULT_CLOCK,
+                  n_shards: int = 1,
+                  guard=None,
+                  progress=None) -> Dict[str, Any]:
+    """QPS-vs-latency curves: one loadtest per (platform, qps) point.
+
+    Resident indexes are shared across every leg — the build cache's
+    whole point — and each platform keeps one backend so its per-index
+    scaled config is derived once.  Returns the ``repro loadtest`` JSON
+    shape: ``{"curves": {platform: [point, ...]}, ...}``.
+    """
+    curves: Dict[str, List[Dict[str, Any]]] = {}
+    for platform in platforms:
+        backend = LaunchBackend(platform, guard=guard)
+        rows: List[Dict[str, Any]] = []
+        for qps in qps_values:
+            if progress is not None:
+                progress(platform, qps)
+            report = run_loadtest(
+                platform, indexes, replace(profile, qps=qps),
+                policy=policy, clock=clock, n_shards=n_shards,
+                backend=backend, guard=guard)
+            rows.append(report.to_dict())
+        curves[platform] = rows
+    return {
+        "profile": {
+            "arrival": profile.arrival,
+            "duration_s": profile.duration_s,
+            "warmup_s": profile.warmup_s,
+            "mix": dict(profile.mix),
+            "seed": profile.seed,
+        },
+        "policy": {
+            "max_batch": (policy or BatchPolicy()).max_batch,
+            "max_wait_s": (policy or BatchPolicy()).max_wait_s,
+        },
+        "clock": {"core_mhz": clock.core_mhz,
+                  "launch_overhead_s": clock.launch_overhead_s},
+        "n_shards": n_shards,
+        "qps_values": list(qps_values),
+        "curves": curves,
+    }

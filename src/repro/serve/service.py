@@ -1,0 +1,218 @@
+"""Asyncio serving facade: real-time query API over resident indexes.
+
+:class:`ServeService` is the interactive counterpart of the
+virtual-time loadtest: the same resident indexes, the same
+:class:`~repro.serve.batcher.BatchPolicy` semantics, the same
+per-platform :class:`~repro.serve.backends.LaunchBackend` — but driven
+by real callers on a real event loop.  One collector task per query
+class pulls requests off an :class:`asyncio.Queue` and closes batches
+timeout-or-size (``asyncio.wait_for`` plays the role the deadline heap
+plays in the loadtest); launches run in the default executor so a
+multi-millisecond simulated kernel never blocks the loop.
+
+Used by ``repro serve`` (JSON-lines over stdin/stdout) and directly
+embeddable::
+
+    service = ServeService(indexes, platform="tta")
+    async with service:
+        response = await service.query("point", qid=17)
+
+The virtual-time loadtest remains the *measured* path — wall-clock
+latency through asyncio depends on host scheduling and is reported here
+for operational visibility, not for the paper's figures.
+"""
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serve.backends import LaunchBackend
+from repro.serve.batcher import BatchPolicy
+from repro.serve.clock import DEFAULT_CLOCK, ServiceClock
+from repro.serve.index import ResidentIndex
+
+_CLOSE = object()   # queue sentinel: collector drains and exits
+
+
+@dataclass
+class QueryResponse:
+    """One served query."""
+
+    query_class: str
+    qid: Optional[int]
+    result: Any
+    batch_size: int
+    cycles: float               # simulated cycles of the batch's launch
+    sim_seconds: float          # cycles through the service clock
+    engine: str                 # "fast" | "legacy" (guard degradation)
+    latency_s: float            # wall-clock submit -> resolve
+    error: Optional[str] = None
+
+
+@dataclass
+class _Pending:
+    query_class: str
+    qid: Optional[int]
+    payload: Any
+    future: "asyncio.Future[QueryResponse]"
+    t_submit: float = field(default_factory=time.monotonic)
+
+
+class ServeService:
+    """Resident-index query service with per-class micro-batching."""
+
+    def __init__(self, indexes: Dict[str, ResidentIndex],
+                 platform: str = "tta",
+                 policy: Optional[BatchPolicy] = None,
+                 clock: ServiceClock = DEFAULT_CLOCK,
+                 guard=None,
+                 backend: Optional[LaunchBackend] = None):
+        if not indexes:
+            raise ConfigurationError("ServeService needs >= 1 index")
+        self.indexes = dict(indexes)
+        self.platform = platform
+        self.policy = policy or BatchPolicy()
+        self.clock = clock
+        self.backend = backend or LaunchBackend(platform, guard=guard)
+        for cls, index in self.indexes.items():
+            if self.policy.max_batch > index.capacity:
+                raise ConfigurationError(
+                    f"max_batch {self.policy.max_batch} exceeds the "
+                    f"{cls!r} index's capacity {index.capacity}")
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._collectors: List[asyncio.Task] = []
+        self._running = False
+        self.queries_served = 0
+        self.batches_served = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for cls in self.indexes:
+            queue: asyncio.Queue = asyncio.Queue()
+            self._queues[cls] = queue
+            self._collectors.append(
+                asyncio.create_task(self._collect(cls, queue),
+                                    name=f"serve-{cls}"))
+
+    async def stop(self) -> None:
+        """Drain open batches and stop the collectors."""
+        if not self._running:
+            return
+        self._running = False
+        for queue in self._queues.values():
+            queue.put_nowait(_CLOSE)
+        await asyncio.gather(*self._collectors, return_exceptions=True)
+        self._collectors.clear()
+        self._queues.clear()
+
+    async def __aenter__(self) -> "ServeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- the query API -----------------------------------------------------------
+    async def query(self, query_class: str, qid: Optional[int] = None,
+                    payload: Any = None) -> QueryResponse:
+        """Submit one query and await its batched result.
+
+        Either ``qid`` (an index into the class's canonical stream) or
+        a raw ``payload`` (a key / window / point in the class's native
+        shape) — canonical ids hit the index's memoized job lowering.
+        """
+        if not self._running:
+            raise ConfigurationError("service is not running (use start())")
+        index = self.indexes.get(query_class)
+        if index is None:
+            raise ConfigurationError(
+                f"no resident index for query class {query_class!r}; "
+                f"serving: {sorted(self.indexes)}")
+        if qid is None and payload is None:
+            raise ConfigurationError("query needs a qid or a payload")
+        if qid is not None and not 0 <= qid < index.n_canonical:
+            raise ConfigurationError(
+                f"qid {qid} out of range for {query_class!r} "
+                f"(canonical stream has {index.n_canonical})")
+        future: "asyncio.Future[QueryResponse]" = \
+            asyncio.get_running_loop().create_future()
+        await self._queues[query_class].put(
+            _Pending(query_class, qid, payload, future))
+        return await future
+
+    # -- batching ----------------------------------------------------------------
+    async def _collect(self, cls: str, queue: asyncio.Queue) -> None:
+        closing = False
+        while not closing:
+            first = await queue.get()
+            if first is _CLOSE:
+                break
+            batch: List[_Pending] = [first]
+            deadline = time.monotonic() + self.policy.max_wait_s
+            while len(batch) < self.policy.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _CLOSE:
+                    closing = True
+                    break
+                batch.append(item)
+            await self._dispatch(cls, batch)
+
+    async def _dispatch(self, cls: str, batch: List[_Pending]) -> None:
+        index = self.indexes[cls]
+        loop = asyncio.get_running_loop()
+        try:
+            launch = await loop.run_in_executor(
+                None, self._launch_sync, index, batch)
+        except Exception as exc:  # noqa: BLE001 — fail the batch, not the loop
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        self.batches_served += 1
+        now = time.monotonic()
+        for slot, pending in enumerate(batch):
+            if pending.future.done():      # caller went away
+                continue
+            self.queries_served += 1
+            pending.future.set_result(QueryResponse(
+                query_class=cls,
+                qid=pending.qid,
+                result=launch.results.get(slot),
+                batch_size=len(batch),
+                cycles=launch.cycles,
+                sim_seconds=self.clock.launch_seconds(launch.cycles),
+                engine=launch.engine,
+                latency_s=now - pending.t_submit,
+                error=launch.error,
+            ))
+
+    def _launch_sync(self, index: ResidentIndex, batch: List[_Pending]):
+        if all(p.qid is not None for p in batch):
+            return self.backend.launch(index, [p.qid for p in batch])
+        payloads = [index.payload(p.qid) if p.qid is not None else p.payload
+                    for p in batch]
+        return self.backend.launch_payloads(index, payloads)
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "platform": self.platform,
+            "classes": sorted(self.indexes),
+            "queries_served": self.queries_served,
+            "batches_served": self.batches_served,
+            "degraded_batches": self.backend.degraded,
+            "launches": self.backend.launches,
+            "policy": {"max_batch": self.policy.max_batch,
+                       "max_wait_s": self.policy.max_wait_s},
+        }

@@ -141,3 +141,98 @@ class TestCommands:
         # 'all' must expand to exactly the registered experiments.
         names = sorted(EXPERIMENTS)
         assert "fig12" in names and len(names) == 12
+
+
+class TestServingCLI:
+    """``repro serve`` / ``repro loadtest`` and the grouped --help."""
+
+    def test_help_groups_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "command groups:" in out
+        assert "serving (resident indexes, repro.serve):" in out
+        for command in ("run", "sweep", "trace", "serve", "loadtest",
+                        "cache"):
+            assert command in out
+
+    def test_loadtest_parses(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--platform", "gpu,tta", "--qps", "100,200",
+             "--mix", "point=2,knn=1", "--arrival", "burst",
+             "--max-batch", "16", "--max-wait-ms", "1.5"])
+        assert args.command == "loadtest"
+        assert args.platform == "gpu,tta" and args.qps == "100,200"
+        assert args.max_batch == 16 and args.max_wait_ms == 1.5
+
+    def test_loadtest_rejects_bad_inputs(self, capsys):
+        assert main(["loadtest", "--platform", "cpu"]) == 2
+        assert "invalid platform" in capsys.readouterr().err
+        assert main(["loadtest", "--qps", "fast"]) == 2
+        assert "bad --qps" in capsys.readouterr().err
+
+    def test_loadtest_emits_curves_json(self, tmp_path, capsys):
+        out_path = tmp_path / "curves.json"
+        code = main(["loadtest", "--platform", "gpu,tta,ttaplus",
+                     "--qps", "400,1600", "--duration", "0.05",
+                     "--warmup", "0.01", "--mix", "point",
+                     "--out", str(out_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "loadtest —" in captured.out
+        assert "p99_ms" in captured.out
+        curves = json.loads(out_path.read_text())
+        assert sorted(curves["curves"]) == ["gpu", "tta", "ttaplus"]
+        for platform in ("gpu", "tta", "ttaplus"):
+            rows = curves["curves"][platform]
+            assert [row["qps"] for row in rows] == [400.0, 1600.0]
+            for row in rows:
+                assert row["served"] > 0
+                assert {"p50_ms", "p95_ms", "p99_ms"} <= \
+                    set(row["latency_ms"])
+
+    def test_loadtest_reuses_build_cache(self, capsys):
+        argv = ["loadtest", "--platform", "tta", "--qps", "400",
+                "--duration", "0.02", "--warmup", "0", "--mix", "point"]
+        assert main(argv) == 0
+        first = capsys.readouterr().err
+        assert "index built" in first
+        assert main(argv) == 0
+        assert "index cached" in capsys.readouterr().err
+
+    def test_serve_answers_jsonl_queries(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            '{"class": "point", "qid": 0}\n'
+            '{"class": "point", "qid": 1}\n'
+            '# a comment line\n'
+            '{"class": "point", "qid": 2}\n')
+        out_path = tmp_path / "responses.jsonl"
+        code = main(["serve", "--platform", "tta", "--mix", "point",
+                     "--input", str(queries), "--out", str(out_path),
+                     "--max-wait-ms", "5"])
+        assert code == 0
+        responses = [json.loads(line)
+                     for line in out_path.read_text().splitlines()]
+        assert [r["qid"] for r in responses] == [0, 1, 2]
+        assert all(isinstance(r["result"], bool) for r in responses)
+        assert all(r["engine"] == "fast" for r in responses)
+        assert "3 queries" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_line(self, tmp_path, capsys):
+        queries = tmp_path / "bad.jsonl"
+        queries.write_text('{"qid": 3}\n')
+        code = main(["serve", "--mix", "point", "--input", str(queries)])
+        assert code == 2
+        assert "bad query" in capsys.readouterr().err
+
+    def test_cache_stats_reports_builds(self, capsys):
+        assert main(["loadtest", "--platform", "tta", "--qps", "400",
+                     "--duration", "0.02", "--warmup", "0",
+                     "--mix", "point"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "builds:" in out
+        assert "builds:     0" not in out
