@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Performance benchmark of the repro.sim fast core → ``BENCH_core.json``.
 
-Two sections:
+Three sections:
 
 1. **Engine microbenchmark** — raw events/sec of the fast integer-cycle
    calendar-queue :class:`~repro.sim.engine.Simulator` against the seed
    heap engine (:class:`~repro.sim.engine_ref.HeapSimulator`) on a pure
    process workload (no timing models), isolating the scheduler itself.
 
-2. **Fig. 12 workload points** — end-to-end wall clock of the paper's
+2. **Geometry microbenchmark** — tests/sec of the vectorized batch
+   kernels (:mod:`repro.geometry.batch`) against the scalar references
+   they are bit-identical to, per kernel family (slab, point-distance,
+   ray-sphere, ray-triangle).  ``--assert-geometry-speedup X`` exits
+   nonzero when the geomean falls below ``X`` (CI smoke check).
+
+3. **Fig. 12 workload points** — end-to-end wall clock of the paper's
    speedup-figure workload set under three regimes:
 
    * ``legacy_s`` — the seed configuration: heap engine
@@ -39,14 +45,36 @@ import math
 import os
 import pathlib
 import platform
+import random
 import sys
 import time
+
+import numpy as np
 
 _ROOT = pathlib.Path(__file__).resolve().parents[1]
 if str(_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
     sys.path.insert(0, str(_ROOT / "src"))
 
 from repro import __version__  # noqa: E402
+from repro.geometry import (  # noqa: E402
+    AABB,
+    Ray,
+    Sphere,
+    Triangle,
+    Vec3,
+    aabbs_soa,
+    point_distance_below,
+    point_distance_below_batch,
+    points_soa,
+    ray_aabb_intersect,
+    ray_aabb_slab_batch,
+    ray_sphere_batch,
+    ray_sphere_intersect,
+    ray_triangle_batch,
+    ray_triangle_intersect,
+    spheres_soa,
+    triangles_soa,
+)
 from repro.sim import CORE_ENV, scheduler_fingerprint  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.sim.engine_ref import HeapSimulator  # noqa: E402
@@ -94,7 +122,92 @@ def engine_microbench(n_procs: int, events_per_proc: int, reps: int) -> dict:
     }
 
 
-# -- section 2: Fig. 12 workload points ---------------------------------------
+# -- section 2: geometry microbenchmark ---------------------------------------
+def _geom_dataset(n: int, seed: int = 7):
+    """Deterministic scalar objects + their SoA views for the microbench."""
+    rng = random.Random(seed)
+
+    def vec(scale=10.0):
+        return Vec3(rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+                    rng.uniform(-scale, scale))
+
+    ray = Ray(vec(2.0), vec(1.0), tmin=0.0, tmax=50.0)
+    boxes = []
+    for _ in range(n):
+        a, b = vec(), vec()
+        boxes.append(AABB(a.min_with(b), a.max_with(b)))
+    points = [vec() for _ in range(n)]
+    spheres = [Sphere(vec(), rng.uniform(0.1, 3.0), prim_id=i)
+               for i in range(n)]
+    triangles = [Triangle(vec(), vec(), vec(), prim_id=i) for i in range(n)]
+    return ray, boxes, points, spheres, triangles
+
+
+def geometry_microbench(n: int, reps: int) -> dict:
+    """Scalar-vs-batch tests/sec for every kernel family, min over reps."""
+    ray, boxes, points, spheres, triangles = _geom_dataset(n)
+    query = Vec3(0.0, 0.0, 0.0)
+    radius = 5.0
+    lo, hi = aabbs_soa(boxes)
+    pts = points_soa(points)
+    centers, radii = spheres_soa(spheres)
+    v0, v1, v2 = triangles_soa(triangles)
+    origin = np.array((ray.origin.x, ray.origin.y, ray.origin.z))
+    inv = np.array((ray.inv_direction.x, ray.inv_direction.y,
+                    ray.inv_direction.z))
+    direction = np.array((ray.direction.x, ray.direction.y, ray.direction.z))
+    q = np.array((query.x, query.y, query.z))
+
+    def scalar_slab():
+        for box in boxes:
+            ray_aabb_intersect(ray, box)
+
+    def scalar_dist():
+        for p in points:
+            point_distance_below(query, p, radius)
+
+    def scalar_sphere():
+        for s in spheres:
+            ray_sphere_intersect(ray, s)
+
+    def scalar_triangle():
+        for t in triangles:
+            ray_triangle_intersect(ray, t)
+
+    kernels = {
+        "ray_aabb_slab": (scalar_slab, lambda: ray_aabb_slab_batch(
+            origin, inv, ray.tmin, ray.tmax, lo, hi)),
+        "point_distance": (scalar_dist, lambda: point_distance_below_batch(
+            q, pts, radius)),
+        "ray_sphere": (scalar_sphere, lambda: ray_sphere_batch(
+            origin, direction, ray.tmin, ray.tmax, centers, radii)),
+        "ray_triangle": (scalar_triangle, lambda: ray_triangle_batch(
+            origin, direction, ray.tmin, ray.tmax, v0, v1, v2)),
+    }
+    out = {"n": n}
+    speedups = []
+    for name, (scalar, batch) in kernels.items():
+        scalar_s = min(_timed(scalar) for _ in range(reps))
+        batch_s = min(_timed(batch) for _ in range(reps))
+        entry = {
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "scalar_ns_per_test": scalar_s / n * 1e9,
+            "batch_ns_per_test": batch_s / n * 1e9,
+            "batch_tests_per_sec": n / batch_s,
+            "speedup": scalar_s / batch_s,
+        }
+        speedups.append(entry["speedup"])
+        out[name] = entry
+        print(f"geometry {name:16s} scalar {entry['scalar_ns_per_test']:8.1f}"
+              f" ns/test  batch {entry['batch_ns_per_test']:6.1f} ns/test"
+              f"  ({entry['speedup']:.1f}x)", file=sys.stderr)
+    out["speedup_geomean"] = math.exp(
+        sum(math.log(s) for s in speedups) / len(speedups))
+    return out
+
+
+# -- section 3: Fig. 12 workload points ---------------------------------------
 def _points(params: dict):
     """(name, workload factory, runner) for every Fig. 12 point."""
     keys, queries = params["btree"]
@@ -192,6 +305,12 @@ def main(argv=None) -> int:
                         help="repetitions per regime (min is reported)")
     parser.add_argument("--events", type=int, default=200_000,
                         help="microbenchmark event count per engine")
+    parser.add_argument("--geom-n", type=int, default=16384,
+                        help="geometry microbenchmark batch width")
+    parser.add_argument("--assert-geometry-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit nonzero unless the geometry batch/scalar "
+                             "speedup geomean is at least X")
     args = parser.parse_args(argv)
 
     os.environ[CORE_ENV] = "fast"
@@ -201,6 +320,9 @@ def main(argv=None) -> int:
     print(f"engine microbench: fast {micro['fast_events_per_sec']:,.0f} ev/s"
           f"  heap {micro['heap_events_per_sec']:,.0f} ev/s"
           f"  ({micro['speedup']:.2f}x)", file=sys.stderr)
+    geom = geometry_microbench(args.geom_n, args.reps)
+    print(f"geometry microbench: {geom['speedup_geomean']:.1f}x geomean "
+          f"batch over scalar (n={args.geom_n})", file=sys.stderr)
     points = bench_points(args.scale, args.reps)
     agg = aggregate(points)
     report = {
@@ -213,6 +335,7 @@ def main(argv=None) -> int:
         "scale": args.scale,
         "reps": args.reps,
         "engine_microbench": micro,
+        "geometry_microbench": geom,
         "fig12_points": points,
         "aggregate": agg,
     }
@@ -223,6 +346,12 @@ def main(argv=None) -> int:
           f"{agg['speedup_geomean']:.2f}x geomean "
           f"(cold {agg['speedup_cold_total']:.2f}x)", file=sys.stderr)
     print(f"wrote {args.out}", file=sys.stderr)
+    if args.assert_geometry_speedup is not None and \
+            geom["speedup_geomean"] < args.assert_geometry_speedup:
+        print(f"FAIL: geometry speedup geomean {geom['speedup_geomean']:.1f}x"
+              f" < required {args.assert_geometry_speedup:.1f}x",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -377,6 +377,29 @@ def _profile_path(profile_out: pathlib.Path, name: str, many: bool,
     return profile_out
 
 
+def _hotspot_summary(profiler, limit: int = 10) -> str:
+    """Compact top-``limit`` cumulative-time hotspot list for stderr.
+
+    The full ``print_stats(25)`` table (bare ``--profile``) and the
+    pstats dump (``--profile-out``) both bury the answer to "where did
+    the time go?"; this is the ten-line version that always lands on
+    stderr, safely out of any ``--json`` pipeline.
+    """
+    import pstats
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    lines = [f"[profile] top {limit} hotspots by cumulative time "
+             f"(total {stats.total_tt:.2f}s):"]
+    for func in stats.fcn_list[:limit]:
+        filename, lineno, name = func
+        _cc, ncalls, selftime, cumtime, _callers = stats.stats[func]
+        where = name if filename.startswith("~") else \
+            f"{name} ({pathlib.Path(filename).name}:{lineno})"
+        lines.append(f"[profile]   {cumtime:9.3f}s cum  {selftime:8.3f}s "
+                     f"self  {ncalls:>9} calls  {where}")
+    return "\n".join(lines)
+
+
 def cmd_run(names, scale: str, csv_dir, plot: bool = False,
             jobs: int = 1, no_cache: bool = False, timeout=None,
             json_dir=None, json_out: bool = False,
@@ -422,6 +445,8 @@ def cmd_run(names, scale: str, csv_dir, plot: bool = False,
             # (repro run fig --json | jq): route the manifest/timing
             # chatter to stderr.
             chatter = sys.stderr if json_out else sys.stdout
+            if profile:
+                print(_hotspot_summary(profiler), file=sys.stderr)
             if profile and profile_out is not None:
                 path = _profile_path(profile_out, name, len(names) > 1,
                                      json_dir)

@@ -248,4 +248,11 @@ def make_ttaplus_factory(copies: Dict[str, int] = None,
             core.mem.fetch = lambda now, address, size: now
         return core
 
+    # Value identity for launch-level replay (gpu/replay.py): two
+    # factories built from equal parameters configure identical cores.
+    factory.replay_fingerprint = (
+        "ttaplus",
+        tuple(sorted(copies.items())) if copies else (),
+        perfect_icnt, latency_scale, perfect_node_fetch, prefetch_depth,
+    )
     return factory

@@ -55,30 +55,40 @@ FORMAT = "v1"
 
 #: Modules whose source defines dataset generation and tree
 #: construction; their hash is the "dataset fingerprint" component of
-#: every build key.
-_BUILD_SOURCE_PACKAGES = ("trees", "workloads")
+#: every build key.  ``geometry`` belongs here because builds bake SoA
+#: views and bounds computed by its kernels into the pickled workload.
+_BUILD_SOURCE_PACKAGES = ("trees", "workloads", "geometry")
 
 _build_fingerprint_memo: Optional[str] = None
 
 
-def build_fingerprint() -> str:
+def build_fingerprint(root: Optional[pathlib.Path] = None) -> str:
     """Hash of every source file that shapes a built index.
 
-    Covers ``repro.trees`` (node layouts, bulk-load algorithms) and
-    ``repro.workloads`` (dataset generators, buffer placement).  A
-    build entry written under one fingerprint is invisible under any
-    other, so construction-code drift invalidates builds wholesale.
+    Covers ``repro.trees`` (node layouts, bulk-load algorithms),
+    ``repro.workloads`` (dataset generators, buffer placement), and
+    ``repro.geometry`` (the scalar and batch kernels whose numerics the
+    built structures embed).  A build entry written under one
+    fingerprint is invisible under any other, so construction-code
+    drift invalidates builds wholesale.
+
+    ``root`` overrides the package root (memoization skipped), letting
+    tests copy the tree, edit one file, and prove the key moves.
     """
     global _build_fingerprint_memo
-    if _build_fingerprint_memo is None:
-        root = pathlib.Path(__file__).resolve().parent.parent
-        digest = hashlib.sha256()
-        for package in _BUILD_SOURCE_PACKAGES:
-            for path in sorted((root / package).glob("*.py")):
-                digest.update(path.name.encode())
-                digest.update(path.read_bytes())
-        _build_fingerprint_memo = digest.hexdigest()[:12]
-    return _build_fingerprint_memo
+    if root is None and _build_fingerprint_memo is not None:
+        return _build_fingerprint_memo
+    base = root if root is not None \
+        else pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for package in _BUILD_SOURCE_PACKAGES:
+        for path in sorted((base / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    fingerprint = digest.hexdigest()[:12]
+    if root is None:
+        _build_fingerprint_memo = fingerprint
+    return fingerprint
 
 
 def build_key(kind: str, params: Dict[str, Any]) -> str:

@@ -123,31 +123,34 @@ def parse_plans(text: str):
 
 
 # -- per-seam installers ----------------------------------------------------------
-def _match_job(plan: FaultPlan, run, state: dict) -> bool:
+def _match_job(plan: FaultPlan, core, slot: int, state: dict) -> bool:
     """Does this seam crossing belong to the victim job?
 
+    ``slot`` indexes the core's struct-of-arrays job table
+    (``core._jobs``), where the batched driver keeps per-job state.
     Locks onto one query id on the first match so repeated-trigger
     faults (``stall``) keep hitting the same job.
     """
+    query_id = core._jobs.job[slot].query_id
     locked = state.get("locked")
     if locked is not None:
-        return run.job.query_id == locked
-    if plan.query_id is not None and run.job.query_id != plan.query_id:
+        return query_id == locked
+    if plan.query_id is not None and query_id != plan.query_id:
         return False
     if state["skip"] > 0:
         state["skip"] -= 1
         return False
-    state["locked"] = run.job.query_id
+    state["locked"] = query_id
     return True
 
 
 def _install_drop_wake(core, plan: FaultPlan, state: dict) -> None:
     orig = core._wake_at
 
-    def wake_at(time, run):
-        if state["armed"] and _match_job(plan, run, state):
+    def wake_at(time, slot):
+        if state["armed"] and _match_job(plan, core, slot, state):
             state["armed"] = False
-            run.at = time
+            core._jobs.at[slot] = time
             # Park in a bucket with no drain event scheduled: the
             # dropped wake.  An unoccupied cycle is chosen so that an
             # already-scheduled drain cannot rescue the job (a later
@@ -156,9 +159,9 @@ def _install_drop_wake(core, plan: FaultPlan, state: dict) -> None:
             cycle = int(time) + 1
             while cycle in core._wake:
                 cycle += 1
-            core._wake[cycle] = [run]
+            core._wake[cycle] = [slot]
             return
-        orig(time, run)
+        orig(time, slot)
 
     core._wake_at = wake_at
 
@@ -166,13 +169,14 @@ def _install_drop_wake(core, plan: FaultPlan, state: dict) -> None:
 def _install_stall(core, plan: FaultPlan, state: dict) -> None:
     orig = core._advance_job
 
-    def advance(run):
-        if _match_job(plan, run, state):
+    def advance(slot):
+        if _match_job(plan, core, slot, state):
             # Livelock: keep re-parking without touching the traversal,
             # so events flow but the progress token never moves.
-            core._wake_at(run.at + STALL_REPARK_CYCLES, run)
+            core._wake_at(float(core._jobs.at[slot]) + STALL_REPARK_CYCLES,
+                          slot)
             return
-        orig(run)
+        orig(slot)
 
     core._advance_job = advance
 
@@ -180,11 +184,11 @@ def _install_stall(core, plan: FaultPlan, state: dict) -> None:
 def _install_dup_complete(core, plan: FaultPlan, state: dict) -> None:
     orig = core._finish_job
 
-    def finish(run):
-        orig(run)
-        if state["armed"] and _match_job(plan, run, state):
+    def finish(slot):
+        orig(slot)
+        if state["armed"] and _match_job(plan, core, slot, state):
             state["armed"] = False
-            orig(run)  # the duplicated completion
+            orig(slot)  # the duplicated completion
 
     core._finish_job = finish
 

@@ -16,7 +16,7 @@ from typing import Any, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.gpu.isa import AccelCall, Compute, Load
-from repro.gpu.replay import value_independent
+from repro.gpu.replay import launch_replayable, value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -54,6 +54,7 @@ def _keys_scanned(node, query: int) -> int:
     return max(1, len(node.keys))
 
 
+@launch_replayable
 @value_independent
 def btree_baseline_kernel(tid: int, args: BTreeKernelArgs):
     """One thread = one query, searched with the software while-loop."""
@@ -85,6 +86,7 @@ def btree_baseline_kernel(tid: int, args: BTreeKernelArgs):
     args.results[tid] = trace.found
 
 
+@launch_replayable
 def btree_accel_kernel(tid: int, args: BTreeKernelArgs):
     """Setup + one traverseTreeTTA + writeback (the TTA programming model)."""
     yield from prologue(args.query_buf + tid * 4)

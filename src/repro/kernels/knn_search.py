@@ -14,7 +14,7 @@ from typing import List, Sequence
 from repro.errors import ConfigurationError
 from repro.geometry.vec import Vec3
 from repro.gpu.isa import AccelCall, Compute
-from repro.gpu.replay import value_independent
+from repro.gpu.replay import launch_replayable, value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -40,6 +40,7 @@ class KNNKernelArgs:
     stream_cache: dict = None
 
 
+@launch_replayable
 @value_independent
 def knn_baseline_kernel(tid: int, args: KNNKernelArgs):
     result = args.tree.knn(args.queries[tid], args.k)
@@ -58,6 +59,7 @@ def knn_baseline_kernel(tid: int, args: KNNKernelArgs):
     args.results[tid] = result.ids
 
 
+@launch_replayable
 def knn_accel_kernel(tid: int, args: KNNKernelArgs):
     yield from prologue(args.query_buf + tid * 12, setup_alu=6)
     yield Compute(2, common.TAG_SETUP + 1, kind="alu")

@@ -23,7 +23,7 @@ from typing import Any, List
 
 from repro.errors import ConfigurationError
 from repro.gpu.isa import AccelCall, Compute
-from repro.gpu.replay import value_independent
+from repro.gpu.replay import launch_replayable, value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -59,6 +59,7 @@ class NBodyKernelArgs:
     stream_cache: dict = None
 
 
+@launch_replayable
 @value_independent
 def nbody_baseline_kernel(tid: int, args: NBodyKernelArgs):
     """Warp-voting union walk: converged control flow, predicated lanes."""
@@ -86,6 +87,7 @@ def nbody_baseline_kernel(tid: int, args: NBodyKernelArgs):
     args.results[tid] = args.tree.force_on(body).acceleration
 
 
+@launch_replayable
 def nbody_accel_kernel(tid: int, args: NBodyKernelArgs):
     yield from prologue(args.body_buf + tid * 16, setup_alu=6)
     yield Compute(3, common.TAG_SETUP + 1, kind="alu")

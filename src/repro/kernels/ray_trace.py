@@ -14,7 +14,7 @@ from typing import Any, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.gpu.isa import AccelCall, Compute
-from repro.gpu.replay import value_independent
+from repro.gpu.replay import launch_replayable, value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue
 from repro.rta.traversal import Step, TraversalJob
@@ -44,6 +44,7 @@ class RayTraceKernelArgs:
     stream_cache: dict = None
 
 
+@launch_replayable
 @value_independent
 def rt_baseline_kernel(tid: int, args: RayTraceKernelArgs):
     """Software while-while BVH traversal on the SIMT cores (no RTA)."""
@@ -72,6 +73,7 @@ def _load_at(address: int, tag: int):
     yield Load(address, NODE_STRIDE, tag)
 
 
+@launch_replayable
 def rt_accel_kernel(tid: int, args: RayTraceKernelArgs):
     """traceRay per bounce, shading on the cores in between."""
     yield from prologue(args.ray_buf + tid * 32, setup_alu=8)

@@ -13,7 +13,7 @@ from typing import List, Sequence
 from repro.errors import ConfigurationError
 from repro.geometry.aabb import AABB
 from repro.gpu.isa import AccelCall, Compute
-from repro.gpu.replay import value_independent
+from repro.gpu.replay import launch_replayable, value_independent
 from repro.kernels import common
 from repro.kernels.common import epilogue, prologue, visit_header
 from repro.rta.traversal import Step, TraversalJob
@@ -38,6 +38,7 @@ class RTreeKernelArgs:
     stream_cache: dict = None
 
 
+@launch_replayable
 @value_independent
 def rtree_baseline_kernel(tid: int, args: RTreeKernelArgs):
     """One thread = one range query on the SIMT cores."""
@@ -57,6 +58,7 @@ def rtree_baseline_kernel(tid: int, args: RTreeKernelArgs):
     args.results[tid] = trace.ids
 
 
+@launch_replayable
 def rtree_accel_kernel(tid: int, args: RTreeKernelArgs):
     yield from prologue(args.query_buf + tid * 16, setup_alu=5)
     yield Compute(2, common.TAG_SETUP + 1, kind="alu")

@@ -3,9 +3,12 @@
 ``AddressSpace`` is a simple bump allocator with alignment plus a
 registry of :class:`~repro.trees.layout.TreeImage` regions so the
 functional side of a simulation can resolve a node address back to the
-node object that lives there.
+node object that lives there.  Regions never overlap (the bump cursor
+only moves forward), so reverse lookup is a bisect over region bases
+followed by arithmetic inside the matching image — no per-node tables.
 """
 
+from bisect import bisect_right
 from typing import List, Optional
 
 from repro.errors import LayoutError
@@ -18,6 +21,7 @@ class AddressSpace:
     def __init__(self, base: int = 0x1000):
         self._cursor = base
         self._images: List[TreeImage] = []
+        self._bases: List[int] = []
 
     def alloc(self, size: int, align: int = 64) -> int:
         """Reserve ``size`` bytes aligned to ``align``; return the base."""
@@ -35,10 +39,18 @@ class AddressSpace:
         base = self.alloc(len(nodes) * node_stride, align=node_stride)
         image = TreeImage(nodes, base=base, node_stride=node_stride)
         self._images.append(image)
+        self._bases.append(base)
         return image
 
     def node_at(self, address: int) -> Optional[object]:
-        for image in self._images:
+        bases = getattr(self, "_bases", None)
+        if bases is None:
+            # Instances unpickled from caches written before the bisect
+            # index existed rebuild it on first use.
+            bases = self._bases = [image.base for image in self._images]
+        i = bisect_right(bases, address) - 1
+        if i >= 0:
+            image = self._images[i]
             if image.contains(address):
                 return image.node_at(address)
         return None

@@ -28,6 +28,8 @@ import os
 from collections import deque
 from typing import Iterable, List
 
+import numpy as np
+
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.rta.mem_scheduler import RTAMemScheduler
 from repro.rta.traversal import Step, TraversalJob
@@ -52,29 +54,80 @@ class _Batch:
         self.jobs = jobs
 
 
-class _JobRun:
-    """Per-job state for the batched driver: where the traversal is.
+class _JobTable:
+    """Struct-of-arrays traversal state for the batched driver.
 
-    ``at`` is the job's *analytic* clock: engine wake-ups are quantized
-    to whole cycles, but the traversal chains its resource completion
-    times in exact float time (just like the legacy per-job generator,
-    which resumed at the float timestamp directly), so rounding never
-    compounds across steps.
+    One preallocated table per core replaces the per-job ``_JobRun``
+    objects: each in-flight traversal is a *slot* (an int) indexing
+    parallel columns.  ``at`` is the job's *analytic* clock: engine
+    wake-ups are quantized to whole cycles, but the traversal chains its
+    resource completion times in exact float time (just like the legacy
+    per-job generator, which resumed at the float timestamp directly),
+    so rounding never compounds across steps.
+
+    Slots recycle through a free list and capacity grows geometrically,
+    so a submission of 10^4 jobs allocates O(1) Python objects beyond
+    the job/step references it must hold.  ``release`` only returns the
+    slot to the free list — object references and the ``done`` latch
+    survive until the slot's next ``acquire``, which keeps
+    duplicate-completion diagnostics (query id, batch) readable.
     """
 
-    __slots__ = ("job", "steps", "idx", "begin", "batch", "chain", "at",
-                 "fetched", "done")
+    __slots__ = ("capacity", "idx", "n_steps", "at", "begin", "fetched",
+                 "done", "job", "steps", "batch", "chain", "free")
 
-    def __init__(self, job, batch, begin):
-        self.job = job
-        self.steps = job.steps
-        self.idx = 0
-        self.begin = begin
-        self.batch = batch
-        self.chain = None  # in-flight TTA+ µop chain, if any
-        self.at = begin
-        self.fetched = False  # current step's node fetch has completed
-        self.done = False  # completion latch (at-most-once invariant)
+    _COLUMNS = (("idx", np.int32), ("n_steps", np.int32),
+                ("at", np.float64), ("begin", np.float64),
+                ("fetched", np.bool_), ("done", np.bool_))
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        for name, dtype in self._COLUMNS:
+            setattr(self, name, np.zeros(capacity, dtype=dtype))
+        self.job: List = [None] * capacity
+        self.steps: List = [None] * capacity
+        self.batch: List = [None] * capacity
+        self.chain: List = [None] * capacity
+        # pop() takes from the tail, so low slots go out first.
+        self.free: List[int] = list(range(capacity - 1, -1, -1))
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        for name, dtype in self._COLUMNS:
+            grown = np.zeros(new, dtype=dtype)
+            grown[:old] = getattr(self, name)
+            setattr(self, name, grown)
+        self.job.extend([None] * old)
+        self.steps.extend([None] * old)
+        self.batch.extend([None] * old)
+        self.chain.extend([None] * old)
+        self.free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new
+
+    def acquire(self, job, batch, begin: float) -> int:
+        if not self.free:
+            self._grow()
+        slot = self.free.pop()
+        self.job[slot] = job
+        self.steps[slot] = job.steps
+        self.batch[slot] = batch
+        self.chain[slot] = None  # in-flight TTA+ µop chain, if any
+        self.idx[slot] = 0
+        self.n_steps[slot] = len(job.steps)
+        self.at[slot] = begin
+        self.begin[slot] = begin
+        self.fetched[slot] = False  # current step's node fetch completed
+        self.done[slot] = False  # completion latch (at-most-once)
+        return slot
+
+    def release(self, slot: int) -> None:
+        self.free.append(slot)
+
+
+#: A same-cycle wake bucket at least this large classifies its woken
+#: jobs (finished vs. still stepping) with one vectorized column read.
+_VEC_DRAIN_MIN = 8
 
 
 class RTACore:
@@ -112,9 +165,14 @@ class RTACore:
         # the backend's pools.
         self.trace = getattr(self.sim, "tracer", None)
         self._unit = f"rta{sm.sm_id}"
-        self._admit_queue = deque()
-        self._wake: dict = {}  # cycle -> [_JobRun, ...] awaiting that cycle
+        self._admit_queue = deque()  # table slots awaiting a warp-buffer slot
+        self._jobs = _JobTable()
+        self._wake: dict = {}  # cycle -> [slot, ...] awaiting that cycle
         self._pending: set = set()  # query ids launched but not completed
+        # Fault injectors wrap `_advance_job` per instance; the vectorized
+        # drain fast-path would route finishing jobs around that wrapper,
+        # so it is disabled whenever faults are armed.
+        self._vec_drain = not os.environ.get("REPRO_FAULTS")
         if os.environ.get("REPRO_FAULTS"):
             from repro.guard.faults import install_env_faults
             install_env_faults(self)
@@ -144,41 +202,51 @@ class RTACore:
         warp_buffer = self.warp_buffer
         queue = self._admit_queue
         advance = self._advance_job
+        acquire = self._jobs.acquire
         for job in batch.jobs:
-            run = _JobRun(job, batch, now)
+            slot = acquire(job, batch, now)
             if queue or not warp_buffer.try_admit(now):
-                queue.append(run)
+                queue.append(slot)
             else:
                 warp_buffer.record_access(writes=1)  # install ray state
-                advance(run)
+                advance(slot)
 
-    def _advance_job(self, run: _JobRun) -> None:
+    def _advance_job(self, slot: int) -> None:
         self.steps_advanced += 1
+        jobs = self._jobs
         backend = self.backend
         warp_buffer = self.warp_buffer
         fetch = self.mem.fetch
         wake_at = self._wake_at
-        steps = run.steps
+        chains = jobs.chain
+        steps = jobs.steps[slot]
         n_steps = len(steps)
         chained = self._chained
         prefetch_depth = self.prefetch_depth
         obs = self.trace
         unit = self._unit
+        # Hot state lives in Python locals for the whole advance; the
+        # table columns are written back only when the job parks.  The
+        # analytic clock ``at`` is constant within one advance (only
+        # ``_wake_at`` moves it), so it is read exactly once.
+        now = float(jobs.at[slot])
+        idx = int(jobs.idx[slot])
+        fetched = bool(jobs.fetched[slot])
         while True:
-            now = run.at
-            if run.chain is not None:
-                wake = backend.advance_chain(run.chain, now)
+            chain = chains[slot]
+            if chain is not None:
+                wake = backend.advance_chain(chain, now)
                 if wake is not None:
-                    wake_at(wake, run)
+                    jobs.idx[slot] = idx
+                    wake_at(wake, slot)
                     return
-                run.chain = None
-                run.idx += 1
+                chains[slot] = None
+                idx += 1
                 continue
-            idx = run.idx
             if idx >= n_steps:
                 break
             step = steps[idx]
-            if not run.fetched:
+            if not fetched:
                 # Fetch the node, then *park until the data arrives* before
                 # touching the backend: issuing the op at the (future)
                 # fetch-completion time from within the current event
@@ -197,45 +265,54 @@ class RTACore:
                 if ready > now:
                     if obs is not None:
                         obs.emit("rta", unit, "node_fetch", now, ready - now,
-                                 run.job.query_id)
-                    run.fetched = True
-                    wake_at(ready, run)
+                                 jobs.job[slot].query_id)
+                    jobs.idx[slot] = idx
+                    jobs.fetched[slot] = True
+                    wake_at(ready, slot)
                     return
-            run.fetched = False
+            fetched = False
             op = step.op
             if op == "shader":
-                run.idx = idx + 1
                 finish = self._shader_finish_at(now, step)
                 if obs is not None:
                     obs.emit("rta", unit, "shader", now, finish - now,
-                             run.job.query_id)
-                wake_at(finish, run)
+                             jobs.job[slot].query_id)
+                jobs.idx[slot] = idx + 1
+                jobs.fetched[slot] = False
+                wake_at(finish, slot)
                 return
             if chained:
                 chain = backend.begin_chain(op, step.count)
                 wake = backend.advance_chain(chain, now)
                 if wake is not None:
-                    run.chain = chain
-                    wake_at(wake, run)
+                    chains[slot] = chain
+                    jobs.idx[slot] = idx
+                    jobs.fetched[slot] = False
+                    wake_at(wake, slot)
                     return
-                run.idx = idx + 1
+                idx += 1
                 continue
             done = backend.finish_at(now, op, step.count)
-            run.idx = idx + 1
+            idx += 1
             if done > now:
-                wake_at(done, run)
+                jobs.idx[slot] = idx
+                jobs.fetched[slot] = False
+                wake_at(done, slot)
                 return
-        self._finish_job(run)
+        jobs.idx[slot] = idx
+        jobs.fetched[slot] = fetched
+        self._finish_job(slot)
 
-    def _wake_at(self, time, run: _JobRun) -> None:
-        """Park ``run`` until (the ceiling cycle of) analytic ``time``.
+    def _wake_at(self, time, slot: int) -> None:
+        """Park the job in ``slot`` until (the ceiling cycle of) ``time``.
 
         All jobs of this core waking at one cycle share a single engine
         event: whole warps of same-latency queries advance per drain.
-        The run resumes with ``run.at`` set to the exact float ``time``,
-        so quantization affects only event scheduling, not the model.
+        The job resumes with its ``at`` column set to the exact float
+        ``time``, so quantization affects only event scheduling, not the
+        model.
         """
-        run.at = time
+        self._jobs.at[slot] = time
         sim = self.sim
         now = sim.now
         # ceil_cycles(time - now), inlined: this runs once or twice per
@@ -248,46 +325,68 @@ class RTACore:
             cycle = now + (whole if delta - whole <= TIME_EPS else whole + 1)
         bucket = self._wake.get(cycle)
         if bucket is None:
-            self._wake[cycle] = [run]
+            self._wake[cycle] = [slot]
             sim.call_at(cycle, self._drain_wake, cycle)
         else:
-            bucket.append(run)
+            bucket.append(slot)
 
     def _drain_wake(self, cycle: int) -> None:
+        slots = self._wake.pop(cycle)
         advance = self._advance_job
-        for run in self._wake.pop(cycle):
-            advance(run)
+        if len(slots) < _VEC_DRAIN_MIN or not self._vec_drain:
+            for slot in slots:
+                advance(slot)
+            return
+        # Vectorized step evaluation: classify every woken job in one
+        # column read.  A job whose step cursor has run off the end (and
+        # has no µop chain in flight) only re-enters `_advance_job` to
+        # fall straight through to `_finish_job`; taking it there
+        # directly is observably identical, including the progress
+        # counter, which counts this final (empty) advance either way.
+        arr = np.fromiter(slots, dtype=np.int64, count=len(slots))
+        jobs = self._jobs
+        finishing = (jobs.idx[arr] >= jobs.n_steps[arr]).tolist()
+        chains = jobs.chain
+        finish = self._finish_job
+        for slot, fin in zip(slots, finishing):
+            if fin and chains[slot] is None:
+                self.steps_advanced += 1
+                finish(slot)
+            else:
+                advance(slot)
 
-    def _finish_job(self, run: _JobRun) -> None:
-        if run.done:
+    def _finish_job(self, slot: int) -> None:
+        jobs = self._jobs
+        if jobs.done[slot]:
             # At-most-once completion: a duplicated finish would vacate
             # a warp-buffer slot twice and double-count the batch.
             diagnostics = {"reason": "duplicate-completion",
                            "cycle": self.sim.now}
             diagnostics.update(self.guard_state())
             raise InvariantViolation(
-                f"job {run.job.query_id} completed twice on "
+                f"job {jobs.job[slot].query_id} completed twice on "
                 f"sm{self.sm.sm_id}'s accelerator",
                 diagnostics,
             )
-        run.done = True
-        now = run.at  # analytic completion time (≤ the engine cycle)
+        jobs.done[slot] = True
+        now = float(jobs.at[slot])  # analytic completion time (≤ the cycle)
         warp_buffer = self.warp_buffer
         warp_buffer.vacate(now)
         if self.trace is not None:
             self.trace.emit("rta", self._unit, "job_done", now, 0.0,
-                            run.job.query_id)
-        self.traversal_latency.sample(now - run.begin)
+                            jobs.job[slot].query_id)
+        self.traversal_latency.sample(now - float(jobs.begin[slot]))
         self.jobs_completed += 1
-        self._pending.discard(run.job.query_id)
-        batch = run.batch
+        self._pending.discard(jobs.job[slot].query_id)
+        batch = jobs.batch[slot]
         batch.remaining -= 1
         if batch.remaining == 0:
             batch.signal.fire([j.result for j in batch.jobs])
+        jobs.release(slot)
         queue = self._admit_queue
         if queue and warp_buffer.try_admit(now):
             nxt = queue.popleft()
-            nxt.at = now  # the freed slot is taken at the release time
+            jobs.at[nxt] = now  # the freed slot is taken at the release time
             warp_buffer.record_access(writes=1)
             self._advance_job(nxt)
 
@@ -408,11 +507,12 @@ class RTACore:
                         f"was never drained (now={now})")
         if self._admit_queue:
             head = self._admit_queue[0]
-            waited = now - head.begin
+            waited = now - float(self._jobs.begin[head])
             if waited > park_cycles:
                 return (f"accelerator sm{self.sm.sm_id}: job "
-                        f"{head.job.query_id} parked in the admission queue "
-                        f"for {waited:.0f} cycles (budget {park_cycles})")
+                        f"{self._jobs.job[head].query_id} parked in the "
+                        f"admission queue for {waited:.0f} cycles "
+                        f"(budget {park_cycles})")
         return None
 
     # -- statistics ---------------------------------------------------------------
@@ -443,4 +543,11 @@ def make_rta_factory(tta: bool = False, latency_overrides=None,
                                        latency_overrides=latency_overrides)
         return RTACore(sm, backend, prefetch_depth=prefetch_depth)
 
+    # Value identity for launch-level replay (gpu/replay.py): two
+    # factories built from equal parameters configure identical cores.
+    factory.replay_fingerprint = (
+        "rta", tta,
+        tuple(sorted(latency_overrides.items())) if latency_overrides else (),
+        prefetch_depth,
+    )
     return factory

@@ -65,23 +65,47 @@ def make_simulator():
     return Simulator()
 
 
-def _engine_source_hash() -> str:
-    here = pathlib.Path(__file__).parent
+#: Source files folded into the scheduler fingerprint: the engines
+#: themselves plus the packages whose code decides what every simulated
+#: cycle computes — the vectorized geometry kernels and the batched
+#: accelerator driver.  An edit to any of these must invalidate cached
+#: results.
+_MODEL_SOURCES = (
+    ("sim", ("engine.py", "engine_ref.py")),
+    ("geometry", None),  # None = every *.py in the package
+    ("rta", None),
+)
+
+
+def _model_source_hash(root: pathlib.Path = None) -> str:
+    """Hash the timing-model sources under ``root`` (default: repro/).
+
+    ``root`` is parameterizable so tests can copy the tree, edit one
+    geometry file, and prove the fingerprint moves.
+    """
+    if root is None:
+        root = pathlib.Path(__file__).parent.parent
     digest = hashlib.sha256()
-    for name in ("engine.py", "engine_ref.py"):
-        digest.update((here / name).read_bytes())
+    for package, names in _MODEL_SOURCES:
+        folder = root / package
+        paths = ([folder / name for name in names] if names is not None
+                 else sorted(folder.glob("*.py")))
+        for path in paths:
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
     return digest.hexdigest()[:12]
 
 
-#: Hash of the scheduler sources, computed once at import.
-_ENGINE_HASH = _engine_source_hash()
+#: Hash of the scheduler + model sources, computed once at import.
+_ENGINE_HASH = _model_source_hash()
 
 
 def scheduler_fingerprint() -> str:
     """Scheduler-model identity folded into exec-cache keys.
 
-    Combines a hash of the engine sources with the active core mode, so
-    results computed by one engine (or an older engine revision) can
-    never satisfy a spec executed under another.
+    Combines a hash of the engine, geometry, and accelerator-driver
+    sources with the active core mode, so results computed by one
+    engine (or an older model revision) can never satisfy a spec
+    executed under another.
     """
     return f"{_ENGINE_HASH}.{core_mode()}"

@@ -14,13 +14,74 @@ the top level into an instance costs an R-XFORM µop.
 import math
 from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.geometry.aabb import AABB
+from repro.geometry.batch import aabbs_soa, spheres_soa, triangles_soa
 from repro.geometry.intersect import ray_aabb_intersect
 from repro.geometry.ray import Ray
+from repro.geometry.sphere import Sphere
+from repro.geometry.triangle import Triangle
 from repro.geometry.vec import Vec3
 
 _SAH_BINS = 12
+
+
+class BVHArrays:
+    """Struct-of-arrays view of a BVH, materialized once per tree.
+
+    Nodes appear in DFS order (the order :meth:`BVH.nodes` serializes,
+    which is also the memory-image layout order), primitives in
+    ``_prim_order`` order so ``prim k`` here is the k-th primitive a
+    leaf's ``[first_prim, first_prim + prim_count)`` slice touches.
+    The numpy columns feed the batch kernels in
+    :mod:`repro.geometry.batch`; the plain-list mirrors keep scalar DFS
+    loops free of per-element numpy indexing overhead.
+    """
+
+    __slots__ = (
+        "nodes", "lo", "hi", "left", "right", "first_prim", "prim_count",
+        "left_list", "right_list", "first_list", "count_list",
+        "prim_ids", "prim_id_list", "prim_kind",
+        "centers", "radii", "v0", "v1", "v2",
+    )
+
+    def __init__(self, bvh: "BVH"):
+        self.nodes = bvh.nodes()
+        index_of = {id(node): i for i, node in enumerate(self.nodes)}
+        self.lo, self.hi = aabbs_soa([node.bounds for node in self.nodes])
+        self.left_list = [-1 if n.is_leaf else index_of[id(n.left)]
+                          for n in self.nodes]
+        self.right_list = [-1 if n.is_leaf else index_of[id(n.right)]
+                           for n in self.nodes]
+        self.first_list = [n.first_prim for n in self.nodes]
+        self.count_list = [n.prim_count for n in self.nodes]
+        self.left = np.array(self.left_list, dtype=np.int32)
+        self.right = np.array(self.right_list, dtype=np.int32)
+        self.first_prim = np.array(self.first_list, dtype=np.int32)
+        self.prim_count = np.array(self.count_list, dtype=np.int32)
+
+        prims = [bvh.primitives[i] for i in bvh._prim_order]
+        self.prim_id_list = [p.prim_id for p in prims]
+        self.prim_ids = np.array(self.prim_id_list, dtype=np.int64)
+        self.centers = self.radii = self.v0 = self.v1 = self.v2 = None
+        if all(isinstance(p, Sphere) for p in prims):
+            self.prim_kind = "sphere"
+            self.centers, self.radii = spheres_soa(prims)
+        elif all(isinstance(p, Triangle) for p in prims):
+            self.prim_kind = "triangle"
+            self.v0, self.v1, self.v2 = triangles_soa(prims)
+        else:
+            self.prim_kind = None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_prims(self) -> int:
+        return len(self.prim_ids)
 
 
 class BVHNode:
@@ -86,6 +147,7 @@ class BVH:
         self._prim_order = list(range(len(self.primitives)))
         self.root = self._build(0, len(self.primitives), method)
         self.node_count = self._count_nodes(self.root)
+        self._soa: Optional[BVHArrays] = None
 
     # -- construction ---------------------------------------------------------
     def _range_bounds(self, first: int, count: int) -> AABB:
@@ -149,6 +211,19 @@ class BVH:
         return 1 + self._count_nodes(node.left) + self._count_nodes(node.right)
 
     # -- access ---------------------------------------------------------------
+    def soa(self) -> BVHArrays:
+        """The struct-of-arrays view, materialized once and cached.
+
+        Trees are build-once, so the view never invalidates; callers in
+        the kernels/workloads feed its columns to the batch geometry
+        tests instead of walking ``BVHNode`` objects scalar-style.
+        """
+        if getattr(self, "_soa", None) is None:
+            # getattr guards trees unpickled from caches written before
+            # this attribute existed.
+            self._soa = BVHArrays(self)
+        return self._soa
+
     def leaf_prims(self, node: BVHNode) -> List:
         return [self.primitives[self._prim_order[i]]
                 for i in range(node.first_prim, node.first_prim + node.prim_count)]
@@ -187,26 +262,31 @@ class BVH:
         all_hits: List[int] = []
         closest_t, closest_prim = ray.tmax, None
         tmax = ray.tmax
+        # The ray with [tmin, tmax] clipping applied.  Rebuilding a Ray
+        # is deterministic, so one shared object reused until tmax
+        # actually shrinks is bit-identical to a fresh clip per test —
+        # and keeps the hot loop allocation-free outside "closest" hits.
+        clipped = ray
         stack = [self.root]
         while stack:
             node = stack.pop()
             if node.is_leaf:
                 leaf_hit = False
                 for prim in self.leaf_prims(node):
-                    clipped = Ray(ray.origin, ray.direction, ray.tmin, tmax)
                     hit = intersector(clipped, prim)
                     if hit is not None:
                         leaf_hit = True
                         all_hits.append(prim.prim_id)
                         if hit.t < closest_t:
                             closest_t, closest_prim = hit.t, prim.prim_id
-                        if mode == "closest":
-                            tmax = min(tmax, hit.t)
+                        if mode == "closest" and hit.t < tmax:
+                            tmax = hit.t
+                            clipped = Ray(ray.origin, ray.direction,
+                                          ray.tmin, tmax)
                 visits.append(VisitEvent(node, "leaf", node.prim_count, leaf_hit))
                 if mode == "any" and leaf_hit:
                     break
             else:
-                clipped = Ray(ray.origin, ray.direction, ray.tmin, tmax)
                 span = ray_aabb_intersect(clipped, node.bounds)
                 visits.append(VisitEvent(node, "inner", 1, span is not None))
                 if span is not None:
@@ -291,10 +371,16 @@ class TwoLevelBVH:
         xforms = 0
         best: Optional[TwoLevelHit] = None
         tmax = ray.tmax
+        # The original clips once per *node*: a shrink while visiting a
+        # leaf's instances must not affect later instances of the same
+        # leaf, so the rebuild happens here rather than at the shrink.
+        clipped, clip_tmax = ray, tmax
         stack = [self.tlas.root]
         while stack:
             node = stack.pop()
-            clipped = Ray(ray.origin, ray.direction, ray.tmin, tmax)
+            if tmax != clip_tmax:
+                clipped = Ray(ray.origin, ray.direction, ray.tmin, tmax)
+                clip_tmax = tmax
             span = ray_aabb_intersect(clipped, node.bounds)
             if node.is_leaf:
                 tlas_visits.append(VisitEvent(node, "leaf", 1, span is not None))

@@ -6,9 +6,16 @@ tree's nodes out in breadth-first order (the order real tree builders
 emit, giving siblings contiguity, which the paper's child-offset
 encoding relies on) at a fixed per-node stride, and maps addresses back
 to node objects for the functional side of the simulation.
+
+Addresses are pure arithmetic — ``base + index * stride`` — so the
+forward map is a lazily-materialized numpy column (one array per tree,
+feeding batched sector math) and the reverse map is division, not a
+per-node hash table.
 """
 
 from typing import Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.errors import LayoutError
 
@@ -34,13 +41,11 @@ class TreeImage:
         self.nodes: List = list(nodes)
         if not self.nodes:
             raise LayoutError("cannot lay out an empty tree")
-        self._addr_of: Dict[int, int] = {}
-        self._node_at: Dict[int, object] = {}
+        self._index_of: Dict[int, int] = {}
         for index, node in enumerate(self.nodes):
-            address = base + index * node_stride
-            node.address = address
-            self._addr_of[id(node)] = address
-            self._node_at[address] = node
+            node.address = base + index * node_stride
+            self._index_of[id(node)] = index
+        self._addresses: Optional[np.ndarray] = None
 
     @property
     def size_bytes(self) -> int:
@@ -50,20 +55,38 @@ class TreeImage:
     def end(self) -> int:
         return self.base + self.size_bytes
 
+    @property
+    def addresses(self) -> np.ndarray:
+        """Per-node address column (int64, layout order), built once."""
+        if self._addresses is None:
+            self._addresses = (self.base + np.arange(len(self.nodes),
+                                                     dtype=np.int64)
+                               * self.node_stride)
+        return self._addresses
+
+    def sectors(self, sector_size: int) -> np.ndarray:
+        """Per-node starting sector ids at the given sector granularity."""
+        if sector_size <= 0 or (sector_size & (sector_size - 1)) != 0:
+            raise LayoutError(
+                f"sector size must be a power of two, got {sector_size}")
+        return self.addresses // sector_size
+
     def address_of(self, node) -> int:
         try:
-            return self._addr_of[id(node)]
+            index = self._index_of[id(node)]
         except KeyError:
             raise LayoutError(f"node {node!r} is not part of this image")
+        return self.base + index * self.node_stride
 
     def node_at(self, address: int) -> object:
-        try:
-            return self._node_at[address]
-        except KeyError:
-            raise LayoutError(f"no node at address {address:#x}")
+        offset = address - self.base
+        if 0 <= offset < self.size_bytes and offset % self.node_stride == 0:
+            return self.nodes[offset // self.node_stride]
+        raise LayoutError(f"no node at address {address:#x}")
 
     def contains(self, address: int) -> bool:
-        return address in self._node_at
+        offset = address - self.base
+        return 0 <= offset < self.size_bytes and offset % self.node_stride == 0
 
     def first_child_address(self, node) -> Optional[int]:
         """Address of the node's first child (the paper's child-offset base)."""

@@ -8,9 +8,12 @@ search over the raw points.
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.geometry.batch import point_distance_below_batch, points_soa
 from repro.geometry.sphere import Sphere
 from repro.geometry.vec import Vec3
 from repro.kernels.radius_search import (
@@ -41,6 +44,8 @@ class RTNNWorkload:
         default_factory=dict, init=False, repr=False, compare=False)
     _stream_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False)
+    _points_soa: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> RadiusKernelArgs:
         return RadiusKernelArgs(
@@ -65,11 +70,18 @@ class RTNNWorkload:
         return len(self.queries)
 
     def golden(self, query: Vec3) -> Tuple[int, ...]:
-        """Brute-force neighbor set for one query point."""
-        r2 = self.radius * self.radius
-        out = [i for i, p in enumerate(self.points)
-               if (p - query).length_squared() < r2]
-        return tuple(sorted(out))
+        """Brute-force neighbor set via one batched Algorithm-2 sweep.
+
+        ``p - query`` then squared-length-below-r² is exactly what
+        :func:`point_distance_below_batch` computes, so the mask matches
+        the old scalar comprehension bit-for-bit.
+        """
+        soa = self._points_soa
+        if soa is None:
+            soa = self._points_soa = points_soa(self.points)
+        q = np.array((query.x, query.y, query.z), dtype=np.float64)
+        mask = point_distance_below_batch(q, soa, self.radius)
+        return tuple(np.flatnonzero(mask).tolist())
 
     def trace(self, query: Vec3):
         return radius_query(self.bvh, query, self.radius)
