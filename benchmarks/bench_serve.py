@@ -39,6 +39,7 @@ from repro.serve import (  # noqa: E402
     BatchPolicy,
     LaunchBackend,
     LoadProfile,
+    ResilienceConfig,
     SERVE_SCALES,
     build_resident_index,
     run_loadtest,
@@ -96,7 +97,62 @@ def bench(scale: str, platforms, qps_values, duration: float,
                   f"{rows[-1]['p99_ms']:.3f}ms, wall "
                   f"{rows[-1]['wall_s']:.2f}s", file=sys.stderr)
         points[platform] = rows
+
+    # Overload point: 2x capacity, resilience off vs shed.  Achieved
+    # QPS from the sweep is not capacity (unsaturated batches run
+    # 2-deep; at saturation they fill to max_batch and per-query cost
+    # collapses), so capacity is derived from one *full* batch per
+    # class: mix-weighted per-query service time at max_batch depth.
+    # The leg duration is scaled so the event count stays bounded at
+    # any capacity.  Virtual-time deterministic; the interesting deltas
+    # are goodput, shed fraction, and the p99-of-admitted that stays
+    # bounded under shed while off queues without limit.
+    from repro.serve import ServiceClock
+    clock = ServiceClock()
+    mix = dict(profile.mix)
+    mix_total = sum(mix.values())
+    overload = {}
+    overload_queries = 24_000      # offered-event budget per leg
+    for platform in platforms:
+        probe = LaunchBackend(platform)
+        per_query_s = 0.0
+        for cls, weight in mix.items():
+            index = indexes[cls]
+            qids = [i % index.capacity for i in range(policy.max_batch)]
+            launch = probe.launch(index, qids)
+            per_query_s += (weight / mix_total) \
+                * clock.launch_seconds(launch.cycles) / policy.max_batch
+        capacity = 1.0 / per_query_s
+        overload_qps = 2.0 * capacity
+        leg_duration = min(duration, overload_queries / overload_qps)
+        leg = LoadProfile(qps=overload_qps, duration_s=leg_duration,
+                          warmup_s=0.2 * leg_duration, seed=seed, mix=mix)
+        modes = {}
+        for mode in ("off", "shed"):
+            resilience = ResilienceConfig(mode=mode)
+            backend = LaunchBackend(platform, resilience=resilience)
+            report = run_loadtest(platform, indexes, leg, policy=policy,
+                                  backend=backend, resilience=resilience)
+            slo = report.slo()
+            modes[mode] = {
+                "offered_qps": report.offered_qps,
+                "achieved_qps": report.achieved_qps,
+                "goodput_qps": slo["goodput_qps"],
+                "shed_fraction": slo["shed_fraction"],
+                "error_fraction": slo["error_fraction"],
+                "p99_admitted_ms": slo["p99_admitted_ms"],
+                "deadline_misses": report.deadline_misses,
+            }
+            print(f"{platform:8s} overload 2x ({mode:4s}): goodput "
+                  f"{modes[mode]['goodput_qps']:8.0f}/s, shed "
+                  f"{100 * modes[mode]['shed_fraction']:5.1f}%, "
+                  f"p99(admitted) {modes[mode]['p99_admitted_ms']:.3f}ms",
+                  file=sys.stderr)
+        modes["capacity_qps"] = capacity
+        modes["overload_duration_s"] = leg_duration
+        overload[platform] = modes
     return {
+        "overload": overload,
         "build_seconds": build_s,
         "profile": {"duration_s": duration, "warmup_s": warmup,
                     "seed": seed, "arrival": profile.arrival,

@@ -226,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "or on)")
         p.add_argument("--max-cycles", type=int, default=None, metavar="N",
                        help="abort any launch whose clock passes N cycles")
+        p.add_argument("--resilience", default=None,
+                       choices=("off", "shed", "degrade", "strict"),
+                       help="serving failure-semantics policy (default: "
+                            "$REPRO_RESILIENCE or off)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-query latency budget under --resilience "
+                            "(default: $REPRO_RESILIENCE_DEADLINE_MS "
+                            "or 50)")
 
     serve = sub.add_parser(
         "serve",
@@ -321,6 +330,61 @@ def _apply_guard_options(args) -> None:
     max_cycles = getattr(args, "max_cycles", None)
     if max_cycles is not None:
         os.environ[MAX_CYCLES_ENV] = str(max_cycles)
+
+
+def _apply_resilience_options(args) -> None:
+    """Export ``--resilience``/``--deadline-ms`` as the resilience env
+    vars (same pattern as the guard options)."""
+    from repro.serve.resilience import DEADLINE_MS_ENV, RESILIENCE_ENV
+
+    mode = getattr(args, "resilience", None)
+    if mode is not None:
+        os.environ[RESILIENCE_ENV] = mode
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is not None:
+        os.environ[DEADLINE_MS_ENV] = str(deadline_ms)
+
+
+def _validate_serve_args(args):
+    """Friendly up-front validation of serve/loadtest options; returns
+    an error message, or None when the options are sound."""
+    from repro.errors import ConfigurationError
+    from repro.serve import QUERY_CLASSES, parse_mix
+
+    if getattr(args, "max_batch", 1) < 1:
+        return f"--max-batch must be >= 1, got {args.max_batch}"
+    if getattr(args, "max_wait_ms", 0.0) < 0:
+        return f"--max-wait-ms cannot be negative, got {args.max_wait_ms:g}"
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        return f"--shards must be >= 1, got {shards}"
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is not None and deadline_ms <= 0:
+        return f"--deadline-ms must be positive, got {deadline_ms:g}"
+    duration = getattr(args, "duration", None)
+    if duration is not None and duration <= 0:
+        return f"--duration must be positive, got {duration:g}"
+    warmup = getattr(args, "warmup", None)
+    if warmup is not None and warmup < 0:
+        return f"--warmup cannot be negative, got {warmup:g}"
+    burst = getattr(args, "burst_size", None)
+    if burst is not None and burst < 1:
+        return f"--burst-size must be >= 1, got {burst}"
+    try:
+        mix = parse_mix(args.mix)
+    except ConfigurationError as exc:
+        return f"bad --mix {args.mix!r}: {exc}"
+    unknown = sorted(set(mix) - set(QUERY_CLASSES))
+    if unknown:
+        return (f"unknown query class(es) in --mix: {', '.join(unknown)} "
+                f"(valid: {', '.join(QUERY_CLASSES)})")
+    negative = sorted(cls for cls, w in mix.items() if w < 0)
+    if negative:
+        return (f"--mix weight(s) cannot be negative: "
+                f"{', '.join(negative)}")
+    if sum(mix.values()) <= 0:
+        return f"--mix weights sum to zero: {args.mix!r}"
+    return None
 
 
 def _configure_service(jobs: int, no_cache: bool, timeout):
@@ -650,6 +714,10 @@ def cmd_serve(args) -> int:
 
     from repro.serve import ServeService
 
+    error = _validate_serve_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     indexes, _ = _build_indexes(args.mix, args.scale, args.no_cache)
     service = ServeService(indexes, platform=args.platform,
                            policy=_serve_policy(args))
@@ -705,6 +773,18 @@ def cmd_serve(args) -> int:
     print(f"[serve] {stats['queries_served']} queries in "
           f"{stats['batches_served']} batches on {args.platform} "
           f"({stats['degraded_batches']} degraded)", file=sys.stderr)
+    res = stats["resilience"]
+    if res["mode"] != "off":
+        print(f"[serve] resilience={res['mode']}: "
+              f"{res['queries_shed']} shed, "
+              f"{res['queries_expired']} expired, "
+              f"{res['queries_failed']} failed, "
+              f"{res['retries']} retries", file=sys.stderr)
+    if res["degraded_reasons"]:
+        detail = ", ".join(f"{reason}={count}" for reason, count
+                           in res["degraded_reasons"].items())
+        print(f"[serve] degraded batches by reason: {detail}",
+              file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -738,6 +818,16 @@ def cmd_loadtest(args) -> int:
     if not qps_values:
         print("--qps needs at least one load point", file=sys.stderr)
         return 2
+    nonpositive = [q for q in qps_values if q <= 0]
+    if nonpositive:
+        print(f"--qps load points must be positive, got "
+              f"{', '.join(f'{q:g}' for q in nonpositive)}",
+              file=sys.stderr)
+        return 2
+    error = _validate_serve_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
 
     indexes, mix = _build_indexes(args.mix, args.scale, args.no_cache)
     profile = LoadProfile(qps=qps_values[0], duration_s=args.duration,
@@ -753,24 +843,49 @@ def cmd_loadtest(args) -> int:
                           policy=_serve_policy(args), n_shards=args.shards,
                           progress=progress)
 
+    resilient = sweep["resilience_mode"] != "off"
     if args.json:
         print(json.dumps(sweep, indent=2, sort_keys=True))
     else:
         table = Table(
             f"loadtest — {args.arrival} arrivals, "
-            f"{args.duration:g}s window, scale={args.scale}",
-            ["platform", "qps", "achieved", "p50_ms", "p95_ms", "p99_ms",
-             "batch", "degraded"],
+            f"{args.duration:g}s window, scale={args.scale}, "
+            f"resilience={sweep['resilience_mode']}",
+            ["platform", "qps", "achieved", "goodput", "p50_ms", "p95_ms",
+             "p99_ms", "batch", "shed", "degraded"],
         )
         for platform in platforms:
             for row in sweep["curves"][platform]:
                 table.add_row(platform, row["qps"], row["achieved_qps"],
+                              row["slo"]["goodput_qps"],
                               row["latency_ms"]["p50_ms"],
                               row["latency_ms"]["p95_ms"],
                               row["latency_ms"]["p99_ms"],
                               row["mean_batch_size"],
+                              row["resilience"]["shed"],
                               row["degraded_batches"])
         print(table.format())
+    if resilient:
+        for platform in platforms:
+            for row in sweep["curves"][platform]:
+                slo = row["slo"]
+                print(f"[slo] {platform} @ {row['qps']:g}qps: "
+                      f"goodput {slo['goodput_qps']:.0f}/s, "
+                      f"shed {slo['shed_fraction']:.1%}, "
+                      f"failed {slo['error_fraction']:.1%}, "
+                      f"p99(admitted) {slo['p99_admitted_ms']:.2f}ms",
+                      file=sys.stderr)
+    for platform in platforms:
+        reasons: dict = {}
+        for row in sweep["curves"][platform]:
+            for reason, count in row["resilience"][
+                    "degraded_reasons"].items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        if reasons:
+            detail = ", ".join(f"{reason}={count}" for reason, count
+                               in sorted(reasons.items()))
+            print(f"[loadtest] {platform} degraded batches by reason: "
+                  f"{detail}", file=sys.stderr)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(sweep, indent=2, sort_keys=True))
@@ -786,6 +901,15 @@ def main(argv=None) -> int:
     if args.command == "list":
         return cmd_list()
     _apply_guard_options(args)
+    if args.command in ("serve", "loadtest"):
+        # Validate before exporting any resilience env vars: a rejected
+        # invocation must not leave a bad (or any) setting behind for
+        # whatever reads the environment next.
+        error = _validate_serve_args(args)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    _apply_resilience_options(args)
     if args.command == "sweep":
         return cmd_sweep(args.kind, args.platforms, args.param,
                          csv_dir=args.csv_dir, json_dir=args.json_dir,

@@ -19,18 +19,29 @@ See ``docs/MODEL.md`` §"Guardrails" for the operator-facing story.
 from repro.errors import (FaultInjectionError, GuardError,
                           InvariantViolation, SimulationStallError)
 from repro.guard.config import (GUARD_ENV, MAX_CYCLES_ENV, MODES,
-                                GuardConfig, guard_mode)
+                                GuardConfig, env_float, env_int, guard_mode)
+from repro.guard.faults import (FAULTS_ENV, SERVE_KINDS, ServeFaultPlan,
+                                ServeFaults, is_corrupt_result,
+                                parse_serve_plans)
 from repro.guard.watchdog import Guard
 
 __all__ = [
+    "FAULTS_ENV",
     "GUARD_ENV",
     "MAX_CYCLES_ENV",
     "MODES",
+    "SERVE_KINDS",
     "Guard",
     "GuardConfig",
     "GuardError",
     "FaultInjectionError",
     "InvariantViolation",
+    "ServeFaultPlan",
+    "ServeFaults",
     "SimulationStallError",
+    "env_float",
+    "env_int",
     "guard_mode",
+    "is_corrupt_result",
+    "parse_serve_plans",
 ]

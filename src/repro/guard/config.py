@@ -69,6 +69,26 @@ def _env_int(name: str, default: Optional[int]) -> Optional[int]:
     return value
 
 
+def env_int(name: str, default: Optional[int]) -> Optional[int]:
+    """Positive-int environment knob (shared with ``repro.serve``'s
+    resilience config, which follows the same conventions)."""
+    return _env_int(name, default)
+
+
+def env_float(name: str, default: Optional[float]) -> Optional[float]:
+    """Positive-float environment knob; empty/unset -> ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name}={raw!r} is not a number")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
 @dataclass(frozen=True)
 class GuardConfig:
     """Immutable guard thresholds; see the module docstring for semantics."""

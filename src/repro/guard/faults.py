@@ -47,18 +47,60 @@ so the exec cache's validate-on-read path can be exercised).
 ``$REPRO_FAULTS`` grammar: semicolon-separated plans, each
 ``kind[:query=<id>][:after=<n>][:sm=<id>|all]`` — e.g.
 ``stall:query=7:sm=0`` or ``drop_wake;lost_response:sm=all``.
+
+**Serve-path injectors** (:data:`SERVE_KINDS`) break the *serving*
+stack (``repro.serve``) rather than a simulation core, so the
+``repro.serve.resilience`` mechanisms — bounded retry, circuit
+breaker, hedged re-dispatch, shed-on-overload, result-integrity
+checks — are provable the same way the watchdog is:
+
+``launch_fail``
+    The next ``times`` batch launches abort with a
+    :class:`~repro.errors.BackendLaunchError` before the kernel runs.
+    Caught by the backend's bounded retry-with-backoff; enough
+    consecutive failures open the circuit breaker.
+``slow_backend``
+    Batch launches report ``factor``× their simulated service time on
+    the loadtest's wall-clock timeline (contention on the device — the
+    kernel's *cycle count* is untouched, so one-shot equivalence
+    holds).  Caught by deadline-aware admission: the class's EWMA
+    service time inflates and infeasible arrivals shed.
+``shard_blackout``
+    Simulated device ``shard`` dies at ``at_ms`` virtual milliseconds:
+    in-flight launches never complete and the shard takes no new work.
+    Caught by hedged re-dispatch onto a healthy shard (``degrade``/
+    ``strict`` policies); with resilience off the batch's queries are
+    lost and accounted as failed.
+``corrupt_result``
+    One launch comes back with a result slot missing and another
+    garbled.  Caught by the batch-integrity invariant (every query
+    must have exactly one well-formed result); the launch is retried
+    and counted under ``serve.resilience.corrupt_results``.
+
+Serve plans share the ``$REPRO_FAULTS`` grammar with extra options:
+``launch_fail:times=2``, ``slow_backend:factor=8``,
+``shard_blackout:shard=1:at_ms=25``, ``corrupt_result:after=1``.
+Core installers skip serve kinds and vice versa, so one environment
+string can poison both layers at once.
 """
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, List, Optional, Union
 
-from repro.errors import FaultInjectionError
+from repro.errors import BackendLaunchError, FaultInjectionError
 
 FAULTS_ENV = "REPRO_FAULTS"
 
-KINDS = ("drop_wake", "stall", "dup_complete", "lost_fetch",
-         "lost_response")
+#: Simulation-core fault kinds (installed on accelerator instances).
+CORE_KINDS = ("drop_wake", "stall", "dup_complete", "lost_fetch",
+              "lost_response")
+
+#: Serving-path fault kinds (consumed by ``repro.serve``).
+SERVE_KINDS = ("launch_fail", "slow_backend", "shard_blackout",
+               "corrupt_result")
+
+KINDS = CORE_KINDS
 
 #: Cycles between re-parks of a ``stall``\ ed job (arbitrary; small
 #: enough that the no-progress budget is reached quickly).
@@ -95,17 +137,30 @@ class FaultPlan:
         return self.sm == "all" or self.sm == sm_id
 
 
-def parse_plan(text: str) -> FaultPlan:
-    """Parse one ``kind[:key=value]...`` plan from ``$REPRO_FAULTS``."""
+def _tokenize_plan(text: str):
+    """``kind[:key=value]...`` -> ``(kind, {key: raw value})``."""
     parts = [p.strip() for p in text.strip().split(":") if p.strip()]
     if not parts:
         raise FaultInjectionError(f"empty fault plan in {text!r}")
-    kind, kwargs = parts[0], {}
+    kind, options = parts[0], {}
+    if kind not in CORE_KINDS and kind not in SERVE_KINDS:
+        raise FaultInjectionError(
+            f"unknown fault kind {kind!r}; expected one of "
+            f"{CORE_KINDS + SERVE_KINDS}")
     for part in parts[1:]:
         if "=" not in part:
             raise FaultInjectionError(
                 f"fault option {part!r} is not key=value (in {text!r})")
         name, _, value = part.partition("=")
+        options[name] = value
+    return kind, options
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse one *core* ``kind[:key=value]...`` plan from ``$REPRO_FAULTS``."""
+    kind, options = _tokenize_plan(text)
+    kwargs = {}
+    for name, value in options.items():
         if name == "query":
             kwargs["query_id"] = int(value)
         elif name == "after":
@@ -119,7 +174,16 @@ def parse_plan(text: str) -> FaultPlan:
 
 
 def parse_plans(text: str):
-    return [parse_plan(chunk) for chunk in text.split(";") if chunk.strip()]
+    """Core-kind plans in ``text``; serve-kind plans are skipped (they
+    are consumed by :func:`parse_serve_plans` on the serving layer)."""
+    plans = []
+    for chunk in text.split(";"):
+        if not chunk.strip():
+            continue
+        kind, _options = _tokenize_plan(chunk)
+        if kind in CORE_KINDS:
+            plans.append(parse_plan(chunk))
+    return plans
 
 
 # -- per-seam installers ----------------------------------------------------------
@@ -274,6 +338,193 @@ def install_env_faults(core) -> None:
     for plan in parse_plans(text):
         if plan.applies_to_sm(core.sm.sm_id):
             install_fault(core, plan)
+
+
+# -- serve-path fault injection ----------------------------------------------------
+@dataclass
+class ServeFaultPlan:
+    """One serving-layer fault: what to break and how often.
+
+    ``after`` skips that many trigger opportunities first; ``times``
+    bounds how many triggers fire before the plan disarms (so a
+    ``launch_fail:times=2`` provably exercises *bounded* retry: the
+    third attempt succeeds).  ``times=0`` never disarms.
+    """
+
+    kind: str
+    after: int = 0
+    times: int = 1
+    factor: float = 4.0          # slow_backend: service-time multiplier
+    shard: int = 0               # shard_blackout: victim device index
+    at_ms: float = 0.0           # shard_blackout: death time (virtual ms)
+    slot: int = 0                # corrupt_result: victim result slot
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_KINDS:
+            raise FaultInjectionError(
+                f"unknown serve fault kind {self.kind!r}; "
+                f"expected one of {SERVE_KINDS}")
+        if self.after < 0 or self.times < 0:
+            raise FaultInjectionError(
+                f"after/times must be >= 0 in {self!r}")
+        if self.factor <= 0:
+            raise FaultInjectionError(
+                f"slow_backend factor must be positive, got {self.factor}")
+        if self.shard < 0 or self.slot < 0:
+            raise FaultInjectionError(
+                f"shard/slot must be >= 0 in {self!r}")
+
+
+_SERVE_OPTION_CASTS = {
+    "after": int, "times": int, "shard": int, "slot": int,
+    "factor": float, "at_ms": float,
+}
+
+
+def parse_serve_plan(text: str) -> ServeFaultPlan:
+    """Parse one *serve* plan (same grammar as the core plans)."""
+    kind, options = _tokenize_plan(text)
+    kwargs = {}
+    for name, value in options.items():
+        cast = _SERVE_OPTION_CASTS.get(name)
+        if cast is None:
+            raise FaultInjectionError(
+                f"unknown serve fault option {name!r} (in {text!r})")
+        try:
+            kwargs[name] = cast(value)
+        except ValueError:
+            raise FaultInjectionError(
+                f"bad value for {name!r} in {text!r}") from None
+    return ServeFaultPlan(kind, **kwargs)
+
+
+def parse_serve_plans(text: str) -> List[ServeFaultPlan]:
+    """Serve-kind plans in ``text``; core-kind plans are skipped."""
+    plans = []
+    for chunk in text.split(";"):
+        if not chunk.strip():
+            continue
+        kind, _options = _tokenize_plan(chunk)
+        if kind in SERVE_KINDS:
+            plans.append(parse_serve_plan(chunk))
+    return plans
+
+
+class _ArmedServePlan:
+    """Mutable trigger state for one :class:`ServeFaultPlan`."""
+
+    __slots__ = ("plan", "skip", "remaining")
+
+    def __init__(self, plan: ServeFaultPlan):
+        self.plan = plan
+        self.skip = plan.after
+        self.remaining = plan.times if plan.times > 0 else None
+
+    def take(self) -> bool:
+        """Consume one trigger opportunity; True if the fault fires."""
+        if self.remaining == 0:
+            return False
+        if self.skip > 0:
+            self.skip -= 1
+            return False
+        if self.remaining is not None:
+            self.remaining -= 1
+        return True
+
+
+class ServeFaults:
+    """Armed serve-path faults for one backend / loadtest instance.
+
+    Each consumer (a :class:`~repro.serve.backends.LaunchBackend`, a
+    loadtest's device pool) builds its own instance so trigger state
+    never leaks between tests or platforms — mirroring how core faults
+    are installed per accelerator instance, never per class.
+    """
+
+    def __init__(self, plans: Optional[List[ServeFaultPlan]] = None):
+        plans = list(plans or [])
+        self._armed: Dict[str, List[_ArmedServePlan]] = {}
+        for plan in plans:
+            self._armed.setdefault(plan.kind, []).append(
+                _ArmedServePlan(plan))
+        self.fired: Dict[str, int] = {}
+
+    @classmethod
+    def from_env(cls) -> "ServeFaults":
+        text = os.environ.get(FAULTS_ENV)
+        return cls(parse_serve_plans(text) if text else None)
+
+    def __bool__(self) -> bool:
+        return bool(self._armed)
+
+    def _take(self, kind: str) -> Optional[ServeFaultPlan]:
+        for armed in self._armed.get(kind, ()):
+            if armed.take():
+                self.fired[kind] = self.fired.get(kind, 0) + 1
+                return armed.plan
+        return None
+
+    # -- the four seams ----------------------------------------------------
+    def fail_launch(self) -> None:
+        """Raise if an armed ``launch_fail`` consumes this attempt."""
+        if self._take("launch_fail") is not None:
+            raise BackendLaunchError(
+                "injected launch failure (launch_fail fault)")
+
+    def slow_factor(self) -> float:
+        """Service-time multiplier for this launch (1.0 = healthy)."""
+        plan = self._take("slow_backend")
+        return plan.factor if plan is not None else 1.0
+
+    def corrupt(self, results: Dict[int, object]) -> Optional[int]:
+        """Damage one launch's results dict in place.
+
+        Deletes the victim slot (a lost result — the conservation
+        break) and garbles its neighbour when one exists.  Returns the
+        victim slot, or None if no fault fired.
+        """
+        plan = self._take("corrupt_result")
+        if plan is None or not results:
+            return None
+        slot = plan.slot if plan.slot in results else min(results)
+        results.pop(slot, None)
+        neighbour = slot + 1
+        if neighbour in results:
+            results[neighbour] = _CorruptResult(results[neighbour])
+        return slot
+
+    def blackouts(self, n_shards: int) -> Dict[int, float]:
+        """``{device index: death time (virtual seconds)}`` for every
+        armed ``shard_blackout`` that targets an existing shard."""
+        out: Dict[int, float] = {}
+        for armed in self._armed.get("shard_blackout", ()):
+            plan = armed.plan
+            if plan.shard < n_shards and armed.take():
+                out[plan.shard] = plan.at_ms / 1e3
+        return out
+
+
+class _CorruptResult:
+    """Sentinel wrapper marking a garbled result value.
+
+    Wrapping (rather than e.g. bit-flipping an int) keeps detection
+    independent of the query class's value domain: the integrity check
+    rejects any result of this type, and *any* downstream consumer that
+    touches one without checking trips over an unexpected type.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original):
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"<corrupt:{self.original!r}>"
+
+
+def is_corrupt_result(value) -> bool:
+    """True if ``value`` is a fault-injected garbled result."""
+    return isinstance(value, _CorruptResult)
 
 
 def corrupt_cache_entry(cache, spec, payload: bytes = b"\x00corrupt") -> str:

@@ -21,6 +21,13 @@ metric):
 ``ttaplus.op_util.<unit>``                      TTA+ OP units (Fig. 18 top)
 ``ttaplus.test_latency.<test>``                 TTA+ tests (Fig. 18 bottom)
 ``accel.<key>``                                 any other accelerator scalar
+``serve.batches|launches|queries_*``            serving-layer lifecycle
+``serve.resilience.shed[.<reason>]``            load shedding (per reason)
+``serve.resilience.failed|deadline_misses``     failure-semantics outcomes
+``serve.resilience.hedges|retries``             recovery mechanisms
+``serve.resilience.breaker_opens``              circuit-breaker transitions
+``serve.resilience.corrupt_results``            integrity violations seen
+``serve.resilience.goodput_qps``                in-deadline completions/s
 ==============================================  ===========================
 
 Series and histograms are first-class values alongside the scalars:

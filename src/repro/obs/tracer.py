@@ -49,7 +49,11 @@ DEFAULT_CAPACITY = 1_000_000
 #: ``serve`` is the query-serving layer (:mod:`repro.serve`): enqueue /
 #: batch / launch / complete lifecycle events in its virtual-time
 #: domain, mapped onto the cycle timeline via the service clock.
-CATEGORIES = ("scheduler", "sm", "rta", "memsys", "serve")
+#: ``resilience`` is the failure-semantics track riding the same
+#: timeline (:mod:`repro.serve.resilience`): shed / expired / failed /
+#: hedge / launch_failed decision points, so an overload or chaos run
+#: shows *why* queries vanished next to *when* batches ran.
+CATEGORIES = ("scheduler", "sm", "rta", "memsys", "serve", "resilience")
 
 Event = Tuple[str, str, str, float, float, object]
 

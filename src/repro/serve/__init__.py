@@ -11,10 +11,12 @@ wall-clock timeline (:mod:`repro.serve.clock`) so open-loop load
 generation (:mod:`repro.serve.loadgen`) yields latency percentiles and
 QPS-vs-latency curves (:mod:`repro.serve.loadtest`).  An asyncio facade
 (:mod:`repro.serve.service`) serves real callers with the same
-machinery.
+machinery.  Failure semantics — deadlines, load shedding, circuit
+breaking, hedged re-dispatch, result integrity — live in
+:mod:`repro.serve.resilience` (``$REPRO_RESILIENCE``).
 
-Entry points: ``repro serve`` / ``repro loadtest``; MODEL.md §10 has
-the semantics.
+Entry points: ``repro serve`` / ``repro loadtest``; MODEL.md §10 (the
+serving model) and §12 (resilience) have the semantics.
 """
 
 from repro.serve.backends import BatchLaunch, LaunchBackend
@@ -46,6 +48,7 @@ from repro.serve.loadgen import (
     LoadProfile,
     generate_arrivals,
     parse_mix,
+    stream_signature,
 )
 from repro.serve.loadtest import (
     ClassReport,
@@ -53,6 +56,17 @@ from repro.serve.loadtest import (
     percentile,
     run_loadtest,
     run_qps_sweep,
+)
+from repro.serve.resilience import (
+    DEFAULT_PRIORITIES,
+    MODES as RESILIENCE_MODES,
+    RESILIENCE_ENV,
+    CircuitBreaker,
+    EwmaEstimator,
+    ResilienceConfig,
+    check_batch_integrity,
+    resilience_mode,
+    slo_summary,
 )
 from repro.serve.service import QueryResponse, ServeService
 
@@ -62,11 +76,14 @@ __all__ = [
     "Batch",
     "BatchLaunch",
     "BatchPolicy",
+    "CircuitBreaker",
     "ClassReport",
     "DEFAULT_CLOCK",
     "DEFAULT_CORE_MHZ",
     "DEFAULT_LAUNCH_OVERHEAD_S",
     "DEFAULT_MIX",
+    "DEFAULT_PRIORITIES",
+    "EwmaEstimator",
     "LaunchBackend",
     "LoadProfile",
     "LoadtestReport",
@@ -75,16 +92,23 @@ __all__ = [
     "QueryClassSpec",
     "QueryRequest",
     "QueryResponse",
+    "RESILIENCE_ENV",
+    "RESILIENCE_MODES",
     "ResidentIndex",
+    "ResilienceConfig",
     "SERVE_PLATFORMS",
     "SERVE_SCALES",
     "ServeService",
     "ServiceClock",
     "build_resident_index",
+    "check_batch_integrity",
     "generate_arrivals",
     "parse_mix",
     "percentile",
     "query_class_spec",
+    "resilience_mode",
     "run_loadtest",
     "run_qps_sweep",
+    "slo_summary",
+    "stream_signature",
 ]

@@ -8,24 +8,49 @@ harness runners, so a query's functional result and the cycle model it
 is timed under are *identical* to the batch-experiment path
 (``tests/test_serve.py`` asserts byte-identical results).
 
-**Degradation** (the ``repro.guard`` contract, serving edition): a
-launch that aborts with a :class:`~repro.errors.GuardError` — the
-watchdog detected a stall or an invariant broke on the fast engine —
-is retried once on the legacy reference engine
-(``REPRO_SIM_CORE=legacy``), exactly like exec-service quarantine.  The
-batch still completes and the response records ``engine="legacy"``;
-the service counts it under ``serve.degraded_batches``.  One poisoned
-batch can therefore never wedge the serving loop.
+**Failure semantics** (``repro.serve.resilience``): every launch runs
+inside a small failure-handling stack, outside-in:
+
+1. **Circuit breaker** — a backend whose launches keep failing opens
+   its breaker; while open, batches are rejected (or degraded, see 4)
+   immediately instead of burning device time.  After a cooldown one
+   probe launch decides whether to close again.
+2. **Bounded retry with backoff** — a transient launch failure
+   (:class:`~repro.errors.BackendLaunchError`; in this behavioral model
+   only the ``launch_fail`` fault injector produces one) retries up to
+   ``max_retries`` times; the accumulated exponential backoff is
+   reported in ``notes["backoff_s"]`` so the virtual-time loadtest
+   charges it to the batch's service time.
+3. **Result integrity** — every launch's results pass
+   :func:`~repro.serve.resilience.check_batch_integrity` (one
+   well-formed result per query, the guard conservation invariant at
+   serving granularity).  A corrupt batch retries once; a repeat
+   offender raises under the ``strict`` policy and degrades otherwise.
+4. **Degradation to the legacy engine** — a launch that aborts with a
+   :class:`~repro.errors.GuardError` (watchdog stall / invariant break
+   on the fast engine) is retried once on the legacy reference engine
+   (``REPRO_SIM_CORE=legacy``), exactly like exec-service quarantine;
+   under the ``degrade``/``strict`` policies, exhausted retries and
+   open breakers take the same exit.  The batch completes with
+   ``engine="legacy"`` and ``notes["degraded_reason"]`` naming why
+   (``guard`` | ``launch_failure`` | ``breaker_open`` |
+   ``corrupt_result``); the service counts each reason under
+   ``serve.degraded.*``.  One poisoned batch can therefore never wedge
+   the serving loop.
 """
 
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import ConfigurationError, GuardError
+from repro.errors import (BackendLaunchError, ConfigurationError,
+                          GuardError, InvariantViolation)
 from repro.gpu import GPU
 from repro.gpu.config import GPUConfig
+from repro.guard.faults import ServeFaults
 from repro.serve.index import ResidentIndex
+from repro.serve.resilience import (CircuitBreaker, ResilienceConfig,
+                                    check_batch_integrity, default_config)
 
 
 @dataclass
@@ -40,9 +65,23 @@ class BatchLaunch:
     #: of the batch, in submission order).
     results: Dict[int, Any]
     stats: Any
-    engine: str = "fast"
+    engine: str = "fast"        # "fast" | "legacy" | "failed"
     error: Optional[str] = None
     notes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.engine == "failed"
+
+    @property
+    def slow_factor(self) -> float:
+        """Service-time inflation (``slow_backend`` fault; 1.0 healthy)."""
+        return self.notes.get("slow_factor", 1.0)
+
+    @property
+    def backoff_s(self) -> float:
+        """Virtual retry backoff the loadtest charges to this batch."""
+        return self.notes.get("backoff_s", 0.0)
 
 
 def _accelerator_factory(platform: str):
@@ -65,18 +104,31 @@ class LaunchBackend:
 
     def __init__(self, platform: str,
                  config: Optional[GPUConfig] = None,
-                 guard=None, max_verify: int = 0):
+                 guard=None, max_verify: int = 0,
+                 resilience: Optional[ResilienceConfig] = None,
+                 faults: Optional[ServeFaults] = None):
         self.platform = platform
         self.guard = guard
         #: Verify up to this many queries per batch against the golden
         #: reference (0 = trust the kernels' functional model, which the
         #: equivalence tests oracle).
         self.max_verify = max_verify
+        self.resilience = resilience if resilience is not None \
+            else default_config()
+        #: Armed serve-path fault injectors ($REPRO_FAULTS by default);
+        #: per-instance so trigger state never leaks across backends.
+        self.faults = faults if faults is not None else ServeFaults.from_env()
+        self.breaker = CircuitBreaker(self.resilience.breaker_threshold,
+                                      self.resilience.breaker_cooldown_s)
         self._factory = _accelerator_factory(platform)
         self._explicit_config = config
         self._configs: Dict[int, GPUConfig] = {}
         self.launches = 0
         self.degraded = 0
+        self.degraded_reasons: Dict[str, int] = {}
+        self.retries = 0
+        self.failed_batches = 0
+        self.corrupt_detected = 0
 
     # -- config ----------------------------------------------------------------
     def config_for(self, index: ResidentIndex) -> GPUConfig:
@@ -95,8 +147,12 @@ class LaunchBackend:
 
     # -- launching ---------------------------------------------------------------
     def launch(self, index: ResidentIndex,
-               qids: Sequence[int]) -> BatchLaunch:
-        """Launch one batch of canonical query ids."""
+               qids: Sequence[int], now: float = 0.0) -> BatchLaunch:
+        """Launch one batch of canonical query ids.
+
+        ``now`` is the caller's clock (virtual loadtest time or
+        ``time.monotonic()``), consulted only by the circuit breaker.
+        """
         if self.platform not in index.spec.platforms:
             raise ConfigurationError(
                 f"query class {index.query_class!r} cannot serve on "
@@ -110,13 +166,14 @@ class LaunchBackend:
             jobs_builder = lambda: index.batch_jobs(        # noqa: E731
                 qids, self.platform)
             kernel = index.spec.accel_kernel
-        launch = self._run(index, kernel, payloads, jobs_builder)
-        if self.max_verify:
+        launch = self._run(index, kernel, payloads, jobs_builder, now)
+        if self.max_verify and not launch.failed:
             self._verify(index, qids, launch.results)
         return launch
 
     def launch_payloads(self, index: ResidentIndex,
-                        payloads: Sequence[Any]) -> BatchLaunch:
+                        payloads: Sequence[Any],
+                        now: float = 0.0) -> BatchLaunch:
         """Launch one batch of raw (ad-hoc) query payloads."""
         if self.platform == "gpu":
             jobs_builder = lambda: []                       # noqa: E731
@@ -125,12 +182,11 @@ class LaunchBackend:
             jobs_builder = lambda: index.spec.build_jobs(   # noqa: E731
                 index.workload, payloads, self.platform)
             kernel = index.spec.accel_kernel
-        return self._run(index, kernel, payloads, jobs_builder)
+        return self._run(index, kernel, payloads, jobs_builder, now)
 
     def _run(self, index: ResidentIndex, kernel, payloads,
-             jobs_builder) -> BatchLaunch:
-        """One guarded launch; retried on the legacy engine if the fast
-        engine trips the guard.
+             jobs_builder, now: float = 0.0) -> BatchLaunch:
+        """One resilient launch; see the module docstring for the stack.
 
         ``jobs_builder`` is called per attempt: a kernel launch consumes
         nothing from the args, but a guard abort can leave a partially
@@ -140,21 +196,104 @@ class LaunchBackend:
             raise ConfigurationError("cannot launch an empty batch")
         config = self.config_for(index)
         self.launches += 1
-        args = index.batch_args(payloads, jobs_builder())
-        gpu = GPU(config, accelerator_factory=self._factory)
-        try:
-            stats = gpu.launch(kernel, len(payloads), args=args,
-                               guard=self.guard)
-            engine, error = "fast", None
-        except GuardError as exc:
-            self.degraded += 1
-            error = f"{type(exc).__name__}: {exc}"
+        notes: Dict[str, Any] = {}
+
+        if not self.breaker.allow(now):
+            if self.resilience.degrades:
+                return self._degrade(index, kernel, payloads, jobs_builder,
+                                     config, "breaker_open", notes=notes)
+            return self._fail(index, payloads, "circuit breaker open",
+                              notes)
+
+        attempt = 0
+        corrupt_retried = False
+        while True:
+            attempt += 1
             args = index.batch_args(payloads, jobs_builder())
-            stats = self._legacy_retry(kernel, len(payloads), args, config)
-            engine = "legacy"
+            gpu = GPU(config, accelerator_factory=self._factory)
+            try:
+                self.faults.fail_launch()
+                stats = gpu.launch(kernel, len(payloads), args=args,
+                                   guard=self.guard)
+            except GuardError as exc:
+                # The fast engine tripped the watchdog or an invariant;
+                # this is a model fault, not a backend fault — the
+                # breaker does not count it.
+                return self._degrade(
+                    index, kernel, payloads, jobs_builder, config, "guard",
+                    error=f"{type(exc).__name__}: {exc}", notes=notes)
+            except BackendLaunchError as exc:
+                self.breaker.record_failure(now)
+                if attempt <= self.resilience.max_retries \
+                        and self.breaker.opened_at is None:
+                    self.retries += 1
+                    notes["backoff_s"] = notes.get("backoff_s", 0.0) \
+                        + self.resilience.backoff_s(attempt)
+                    continue
+                if self.resilience.degrades:
+                    return self._degrade(
+                        index, kernel, payloads, jobs_builder, config,
+                        "launch_failure", error=str(exc), notes=notes)
+                return self._fail(index, payloads, str(exc), notes)
+
+            self.breaker.record_success(now)
+            results = dict(args.results)
+            self.faults.corrupt(results)
+            violation = check_batch_integrity(results, len(payloads))
+            if violation is None:
+                if attempt > 1:
+                    notes["retries"] = attempt - 1
+                slow = self.faults.slow_factor()
+                if slow != 1.0:
+                    notes["slow_factor"] = slow
+                return BatchLaunch(self.platform, index.query_class,
+                                   len(payloads), stats.cycles, results,
+                                   stats, engine="fast", notes=notes)
+
+            # Corrupt batch: detected unconditionally, in every mode.
+            self.corrupt_detected += 1
+            notes["integrity"] = violation
+            if not corrupt_retried:
+                corrupt_retried = True
+                self.retries += 1
+                notes["backoff_s"] = notes.get("backoff_s", 0.0) \
+                    + self.resilience.backoff_s(attempt)
+                continue
+            if self.resilience.strict:
+                raise InvariantViolation(
+                    f"batch integrity violated twice on "
+                    f"{self.platform}/{index.query_class}: {violation}",
+                    diagnostics={"reason": "corrupt_result",
+                                 "violation": violation,
+                                 "n_queries": len(payloads)})
+            return self._degrade(index, kernel, payloads, jobs_builder,
+                                 config, "corrupt_result",
+                                 error=violation, notes=notes)
+
+    def _degrade(self, index: ResidentIndex, kernel, payloads,
+                 jobs_builder, config, reason: str,
+                 error: Optional[str] = None,
+                 notes: Optional[Dict[str, Any]] = None) -> BatchLaunch:
+        """Second opinion from the reference engine, tagged with why."""
+        self.degraded += 1
+        self.degraded_reasons[reason] = \
+            self.degraded_reasons.get(reason, 0) + 1
+        notes = dict(notes or {})
+        notes["degraded_reason"] = reason
+        args = index.batch_args(payloads, jobs_builder())
+        stats = self._legacy_retry(kernel, len(payloads), args, config)
         return BatchLaunch(self.platform, index.query_class, len(payloads),
                            stats.cycles, dict(args.results), stats,
-                           engine=engine, error=error)
+                           engine="legacy", error=error, notes=notes)
+
+    def _fail(self, index: ResidentIndex, payloads, error: str,
+              notes: Dict[str, Any]) -> BatchLaunch:
+        """Give up on the batch: no results, the caller accounts every
+        query as failed (never silently dropped)."""
+        self.failed_batches += 1
+        return BatchLaunch(self.platform, index.query_class, len(payloads),
+                           0.0, {}, None, engine="failed", error=error,
+                           notes=dict(notes))
 
     def _legacy_retry(self, kernel, n_threads: int, args, config):
         """Second opinion from the reference engine (immune to the

@@ -51,6 +51,10 @@ class QueryRequest:
     qid: Optional[int]          # canonical-stream index, or None
     payload: Any = None         # raw payload when qid is None
     t_arrival: float = 0.0      # seconds, caller's time domain
+    #: Absolute completion deadline on the caller's timeline (None =
+    #: no deadline; set by resilience-aware admission, carried through
+    #: the batcher so dispatch can expire queries that waited too long).
+    deadline: Optional[float] = None
 
 
 @dataclass

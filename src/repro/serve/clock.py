@@ -46,9 +46,16 @@ class ServiceClock:
         """Pure cycle time, no dispatch overhead."""
         return cycles / self.hz
 
-    def launch_seconds(self, cycles: float) -> float:
-        """Wall-clock cost of one kernel dispatch of ``cycles`` cycles."""
-        return self.launch_overhead_s + cycles / self.hz
+    def launch_seconds(self, cycles: float, slow_factor: float = 1.0)\
+            -> float:
+        """Wall-clock cost of one kernel dispatch of ``cycles`` cycles.
+
+        ``slow_factor`` scales the whole dispatch (device contention /
+        the ``slow_backend`` fault injector): simulated cycle *counts*
+        stay truthful while the occupancy on the service timeline
+        inflates.
+        """
+        return (self.launch_overhead_s + cycles / self.hz) * slow_factor
 
     def cycles(self, seconds: float) -> float:
         """Inverse mapping (used to place serve events on the cycle

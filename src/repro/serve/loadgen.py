@@ -144,6 +144,16 @@ def generate_arrivals(profile: LoadProfile,
     return arrivals
 
 
+def stream_signature(arrivals: List[Arrival]) -> Tuple:
+    """A hashable fingerprint of an arrival schedule.
+
+    Two schedules compare equal iff every arrival matches in time,
+    class, qid, and warmup tagging — what the loadgen determinism tests
+    assert across repeated generation from the same profile.
+    """
+    return tuple((a.t, a.query_class, a.qid, a.measured) for a in arrivals)
+
+
 def parse_mix(text: str) -> Dict[str, float]:
     """Parse a CLI mix string, e.g. ``point=4,range=1,knn=1``.
 

@@ -28,7 +28,7 @@ is supposed to surface (MODEL.md §10).
 
 import heapq
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs import MetricsRegistry, MetricsSnapshot
@@ -37,6 +37,8 @@ from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher, QueryRequest
 from repro.serve.clock import DEFAULT_CLOCK, ServiceClock
 from repro.serve.index import ResidentIndex
 from repro.serve.loadgen import LoadProfile, generate_arrivals
+from repro.serve.resilience import (EwmaEstimator, ResilienceConfig,
+                                    default_config, slo_summary)
 
 #: Percentiles every report carries.
 REPORT_PERCENTILES = (50.0, 95.0, 99.0)
@@ -89,6 +91,19 @@ class LoadtestReport:
     sim_cycles: float = 0.0       # total simulated kernel cycles
     t_end: float = 0.0            # virtual time of the last completion
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    # -- resilience accounting (measured-window queries only).  The SLO
+    # invariant is offered == served + failed + shed: every measured
+    # query lands in exactly one bucket.
+    resilience_mode: str = "off"
+    shed: int = 0                 # refused at admission / expired unbatched
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    failed: int = 0               # admitted but never completed
+    deadline_misses: int = 0      # served, but past their deadline
+    hedges: int = 0               # launches re-dispatched off dead shards
+    retries: int = 0              # backend launch retries
+    breaker_opens: int = 0        # circuit-breaker open transitions
+    corrupt_results: int = 0      # integrity violations detected
+    degraded_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def offered_qps(self) -> float:
@@ -109,6 +124,15 @@ class LoadtestReport:
             out.extend(report.latencies_ms)
         out.sort()
         return out
+
+    def slo(self) -> Dict[str, Any]:
+        """The SLO block: goodput, shed fraction, error budget, p99 of
+        admitted traffic (:func:`repro.serve.resilience.slo_summary`)."""
+        ordered = self.all_latencies_ms()
+        return slo_summary(self.offered, self.served, self.shed,
+                           self.failed, self.deadline_misses,
+                           self.profile.duration_s,
+                           percentile(ordered, 99.0))
 
     def to_dict(self) -> Dict[str, Any]:
         ordered = self.all_latencies_ms()
@@ -137,22 +161,66 @@ class LoadtestReport:
             "latency_ms": overall,
             "classes": {cls: report.summary()
                         for cls, report in sorted(self.classes.items())},
+            "resilience": {
+                "mode": self.resilience_mode,
+                "shed": self.shed,
+                "shed_reasons": dict(sorted(self.shed_reasons.items())),
+                "failed": self.failed,
+                "deadline_misses": self.deadline_misses,
+                "hedges": self.hedges,
+                "retries": self.retries,
+                "breaker_opens": self.breaker_opens,
+                "corrupt_results": self.corrupt_results,
+                "degraded_reasons": dict(
+                    sorted(self.degraded_reasons.items())),
+            },
+            "slo": self.slo(),
         }
 
 
 class _Devices:
-    """Earliest-free assignment over ``n`` simulated devices."""
+    """Earliest-free assignment over ``n`` simulated devices.
 
-    def __init__(self, n: int):
+    ``blackouts`` maps a device slot to the virtual time it goes dark
+    (the ``shard_blackout`` fault injector): a launch that would *start*
+    on a dead device is routed around it, and a launch assigned before
+    the death whose finish falls after it **hangs** — the device never
+    answers, and it is the caller's job to hedge the launch onto a
+    healthy device or account its queries as failed.
+    """
+
+    def __init__(self, n: int, blackouts: Optional[Dict[int, float]] = None):
         self.free_at = [0.0] * n
+        self.dead_at: Dict[int, float] = dict(blackouts or {})
 
-    def assign(self, ready: float, duration: float) -> float:
-        """Occupy the earliest-free device; returns the finish time."""
-        slot = min(range(len(self.free_at)), key=self.free_at.__getitem__)
-        start = max(ready, self.free_at[slot])
-        finish = start + duration
-        self.free_at[slot] = finish
-        return finish
+    def any_live(self, at: float) -> bool:
+        return any(self.dead_at.get(slot) is None or at < self.dead_at[slot]
+                   for slot in range(len(self.free_at)))
+
+    def assign(self, ready: float,
+               duration: float) -> Tuple[Optional[int], Optional[float]]:
+        """Occupy the earliest-free live device.
+
+        Returns ``(slot, finish)``; ``finish`` is None when the device
+        dies mid-launch (the launch hangs), and ``slot`` is also None
+        when every device is already dark.
+        """
+        order = sorted(range(len(self.free_at)),
+                       key=lambda s: (self.free_at[s], s))
+        for slot in order:
+            start = max(ready, self.free_at[slot])
+            dead = self.dead_at.get(slot)
+            if dead is not None and start >= dead:
+                continue
+            finish = start + duration
+            if dead is not None and finish > dead:
+                # The device dies with this launch in flight: it never
+                # completes, and the device never comes back.
+                self.free_at[slot] = float("inf")
+                return slot, None
+            self.free_at[slot] = finish
+            return slot, finish
+        return None, None
 
 
 def _shard(qids: Sequence[int], n_shards: int) -> List[List[int]]:
@@ -175,12 +243,18 @@ def run_loadtest(platform: str,
                  max_pending: Optional[int] = None,
                  backend: Optional[LaunchBackend] = None,
                  guard=None,
-                 tracer=None) -> LoadtestReport:
+                 tracer=None,
+                 resilience: Optional[ResilienceConfig] = None
+                 ) -> LoadtestReport:
     """Replay one open-loop profile against ``indexes`` on ``platform``.
 
     ``indexes`` must cover every class in the profile's mix.
     ``max_pending`` is optional admission control: an arrival that finds
     that many queries still in flight is rejected (counted, not served).
+    ``resilience`` selects the failure-semantics policy
+    (:mod:`repro.serve.resilience`; default ``$REPRO_RESILIENCE``, i.e.
+    ``off``, under which the loadtest is stat-for-stat identical to the
+    pre-resilience stack).
     """
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
@@ -194,8 +268,14 @@ def run_loadtest(platform: str,
             raise ConfigurationError(
                 f"max_batch {policy.max_batch} exceeds the {cls!r} "
                 f"index's buffer capacity {indexes[cls].capacity}")
+    if resilience is None:
+        resilience = getattr(backend, "resilience", None) \
+            if backend is not None else None
+        if resilience is None:
+            resilience = default_config()
     if backend is None:
-        backend = LaunchBackend(platform, guard=guard)
+        backend = LaunchBackend(platform, guard=guard,
+                                resilience=resilience)
     elif backend.platform != platform:
         raise ConfigurationError(
             f"backend is for {backend.platform!r}, loadtest for "
@@ -204,14 +284,25 @@ def run_loadtest(platform: str,
     capacities = {cls: idx.n_canonical for cls, idx in indexes.items()}
     arrivals = generate_arrivals(profile, capacities)
 
-    report = LoadtestReport(platform, profile, n_shards, policy)
+    report = LoadtestReport(platform, profile, n_shards, policy,
+                            resilience_mode=resilience.mode)
     registry = MetricsRegistry()
     batcher = MicroBatcher(policy)
-    devices = _Devices(n_shards)
+    # Duck-typed backend knobs: test stubs carry neither faults nor a
+    # breaker, and the loadtest must run them unchanged.
+    faults = getattr(backend, "faults", None)
+    breaker = getattr(backend, "breaker", None)
+    blackouts = faults.blackouts(n_shards) if faults else {}
+    devices = _Devices(n_shards, blackouts)
+    estimators: Dict[str, EwmaEstimator] = {}
     # Arrival index of every query still in flight, popped as virtual
     # time passes its completion (admission control's "pending" count).
     in_flight: List[float] = []
     degraded_before = backend.degraded
+    reasons_before = dict(getattr(backend, "degraded_reasons", {}))
+    retries_before = getattr(backend, "retries", 0)
+    corrupt_before = getattr(backend, "corrupt_detected", 0)
+    opens_before = breaker.opens if breaker is not None else 0
 
     events: List[tuple] = []
     seq = 0
@@ -228,39 +319,156 @@ def run_loadtest(platform: str,
             tracer.emit("serve", platform, name, clock.cycles(t),
                         clock.cycles(dur_s) if dur_s else 0.0, arg)
 
+    def emit_res(name: str, t: float, arg=None) -> None:
+        if tracer is not None:
+            tracer.emit("resilience", platform, name, clock.cycles(t),
+                        0.0, arg)
+
+    def shed(query_or_arrival, t: float, reason: str,
+             query_class: str) -> None:
+        """Refuse one query; measured sheds feed the SLO accounting."""
+        measured = getattr(query_or_arrival, "measured", None)
+        if measured is None:                  # a batched QueryRequest
+            measured = query_or_arrival.payload.measured
+        if measured:
+            report.shed += 1
+            report.shed_reasons[reason] = \
+                report.shed_reasons.get(reason, 0) + 1
+        note("serve.resilience.shed")
+        note(f"serve.resilience.shed.{reason}")
+        emit_res("shed", t, arg={"class": query_class, "reason": reason})
+
+    def admission_reason(cls: str, t: float) -> Optional[str]:
+        """Why this arrival must be shed right now (None = admit)."""
+        if len(in_flight) + batcher.pending() >= resilience.queue_limit(cls):
+            return "queue"
+        if breaker is not None and not resilience.degrades \
+                and breaker.opened_at is not None \
+                and t - breaker.opened_at < breaker.cooldown_s:
+            # Breaker is hard-open and nothing will degrade: every
+            # admitted query is doomed, so refuse it up front.
+            return "breaker"
+        backlog = sum(max(0.0, free - t) for free in devices.free_at
+                      if free != float("inf")) / n_shards
+        budget = resilience.deadline_budget_s(cls)
+        estimate = estimators.get(cls)
+        if budget is not None and estimate is not None \
+                and estimate.value is not None \
+                and backlog + estimate.value > budget:
+            # Infeasible: by the time the device backlog drains and the
+            # batch runs, this query's (priority-scaled) budget is gone.
+            # The estimate is pure service time, so this gate re-opens
+            # by itself once shedding has drained the backlog.
+            return "deadline"
+        if backlog > resilience.backlog_limit_s(cls):
+            return "backlog"
+        return None
+
+    def fail_queries(queries, t: float, reason: str) -> None:
+        """Admitted queries that will never complete: counted, never
+        silently dropped."""
+        for query in queries:
+            if query.payload.measured:
+                report.failed += 1
+            note("serve.resilience.failed")
+            emit_res("failed", t, arg={"class": query.query_class,
+                                       "reason": reason})
+
     def dispatch(batch: Batch) -> None:
         index = indexes[batch.query_class]
+        queries = batch.queries
+        if resilience.sheds:
+            # Expire queries whose deadline already passed while they
+            # waited in the open batch.
+            live = [q for q in queries
+                    if q.deadline is None or q.deadline > batch.t_close]
+            for query in queries:
+                if query.deadline is not None \
+                        and query.deadline <= batch.t_close:
+                    shed(query, batch.t_close, "expired",
+                         batch.query_class)
+            queries = live
+            if not queries:
+                return
         report.batches += 1
-        report.batch_sizes.append(batch.size)
+        report.batch_sizes.append(len(queries))
         note("serve.batches")
         note(f"serve.batch.{batch.closed_by}")
-        registry.histogram("serve.batch_size").observe(batch.size)
+        registry.histogram("serve.batch_size").observe(len(queries))
         emit("batch", batch.t_close, arg={
-            "class": batch.query_class, "size": batch.size,
+            "class": batch.query_class, "size": len(queries),
             "closed_by": batch.closed_by})
         finishes: List[float] = []
-        for shard_qids in _shard(batch.qids, n_shards):
-            launch = backend.launch(index, shard_qids)
+        failed_shards: List[List[QueryRequest]] = []
+        service_s = 0.0               # slowest shard's launch occupancy
+        for shard_slots in _shard(range(len(queries)), n_shards):
+            shard_queries = [queries[i] for i in shard_slots]
+            shard_qids = [q.qid for q in shard_queries]
+            launch = backend.launch(index, shard_qids, batch.t_close)
+            if getattr(launch, "failed", False):
+                failed_shards.append(shard_queries)
+                note("serve.resilience.failed_launches")
+                emit_res("launch_failed", batch.t_close, arg={
+                    "class": batch.query_class,
+                    "error": launch.error})
+                continue
             report.sim_cycles += launch.cycles
-            duration = clock.launch_seconds(launch.cycles)
-            finish = devices.assign(batch.t_close, duration)
+            duration = clock.launch_seconds(
+                launch.cycles, getattr(launch, "slow_factor", 1.0)) \
+                + getattr(launch, "backoff_s", 0.0)
+            service_s = max(service_s, duration)
+            slot, finish = devices.assign(batch.t_close, duration)
+            if finish is None:
+                # The device died mid-launch (or every shard is dark).
+                if slot is not None and resilience.hedges:
+                    retry_at = devices.dead_at[slot] \
+                        + resilience.hedge_timeout_s
+                    hedge_slot, finish = devices.assign(retry_at, duration)
+                    if finish is not None:
+                        report.hedges += 1
+                        note("serve.resilience.hedges")
+                        emit_res("hedge", retry_at, arg={
+                            "class": batch.query_class,
+                            "from_shard": slot, "to_shard": hedge_slot})
+                if finish is None:
+                    failed_shards.append(shard_queries)
+                    continue
             finishes.append(finish)
             note("serve.launches")
             note("serve.sim_cycles", launch.cycles)
             emit("launch", finish - duration, duration, arg={
                 "class": batch.query_class, "queries": len(shard_qids),
                 "cycles": launch.cycles, "engine": launch.engine})
+        for shard_queries in failed_shards:
+            fail_queries(shard_queries, batch.t_close, "launch")
+        if not finishes:
+            return
         t_done = max(finishes)
         report.t_end = max(report.t_end, t_done)
         emit("complete", t_done, arg={"class": batch.query_class,
-                                      "size": batch.size})
-        for query in batch.queries:
+                                      "size": len(queries)})
+        n_failed = sum(len(s) for s in failed_shards)
+        served_queries = queries if n_failed == 0 else [
+            q for s in _shard(range(len(queries)), n_shards)
+            for q in [queries[i] for i in s]
+            if not any(q in fs for fs in failed_shards)]
+        if resilience.sheds and served_queries:
+            # Pure service time, never sojourn — the admission gate adds
+            # the live backlog itself, and a sojourn estimate would wedge
+            # above the deadline with no completions left to correct it.
+            estimators.setdefault(
+                batch.query_class, EwmaEstimator(resilience.ewma_alpha)
+            ).observe(service_s)
+        for query in served_queries:
             heapq.heappush(in_flight, t_done)
             arrival = query.payload  # the Arrival this request wraps
             if arrival.measured:
                 report.served += 1
                 note("serve.queries_served")
                 latency_ms = (t_done - query.t_arrival) * 1e3
+                if query.deadline is not None and t_done > query.deadline:
+                    report.deadline_misses += 1
+                    note("serve.resilience.deadline_misses")
                 cls_report = report.classes.setdefault(
                     batch.query_class, ClassReport(batch.query_class))
                 cls_report.served += 1
@@ -280,10 +488,19 @@ def run_loadtest(platform: str,
                 report.rejected += 1
                 note("serve.queries_rejected")
                 continue
+            if resilience.sheds:
+                reason = admission_reason(payload.query_class, t)
+                if reason is not None:
+                    shed(payload, t, reason, payload.query_class)
+                    continue
             emit("enqueue", t, arg={"class": payload.query_class,
                                     "qid": payload.qid})
+            deadline = None
+            if resilience.sheds and resilience.deadline_s is not None:
+                deadline = t + resilience.deadline_s
             request = QueryRequest(seq, payload.query_class, payload.qid,
-                                   payload=payload, t_arrival=t)
+                                   payload=payload, t_arrival=t,
+                                   deadline=deadline)
             seq += 1
             had_open = batcher.generation(payload.query_class) is not None
             closed = batcher.offer(request)
@@ -291,9 +508,9 @@ def run_loadtest(platform: str,
                 dispatch(closed)
             elif not had_open:
                 # This arrival opened a new batch: arm its timeout.
-                deadline = batcher.deadline(payload.query_class)
+                timeout = batcher.deadline(payload.query_class)
                 generation = batcher.generation(payload.query_class)
-                heapq.heappush(events, (deadline, seq, "deadline",
+                heapq.heappush(events, (timeout, seq, "deadline",
                                         (payload.query_class, generation)))
                 seq += 1
         else:  # deadline (stale ones no-op via the generation token)
@@ -306,9 +523,28 @@ def run_loadtest(platform: str,
         dispatch(batch)
 
     report.degraded_batches = backend.degraded - degraded_before
+    report.degraded_reasons = {
+        reason: delta for reason, count in
+        sorted(getattr(backend, "degraded_reasons", {}).items())
+        if (delta := count - reasons_before.get(reason, 0)) > 0}
+    report.retries = getattr(backend, "retries", 0) - retries_before
+    report.corrupt_results = \
+        getattr(backend, "corrupt_detected", 0) - corrupt_before
+    report.breaker_opens = \
+        (breaker.opens if breaker is not None else 0) - opens_before
     registry.set("serve.degraded_batches", report.degraded_batches)
     registry.set("serve.offered_qps", report.offered_qps)
     registry.set("serve.achieved_qps", report.achieved_qps)
+    if resilience.active or report.shed or report.failed \
+            or report.retries or report.breaker_opens \
+            or report.corrupt_results:
+        registry.set("serve.resilience.retries", report.retries)
+        registry.set("serve.resilience.breaker_opens",
+                     report.breaker_opens)
+        registry.set("serve.resilience.corrupt_results",
+                     report.corrupt_results)
+        registry.set("serve.resilience.goodput_qps",
+                     report.slo()["goodput_qps"])
     report.metrics = registry.snapshot()
     return report
 
@@ -321,7 +557,9 @@ def run_qps_sweep(platforms: Sequence[str],
                   clock: ServiceClock = DEFAULT_CLOCK,
                   n_shards: int = 1,
                   guard=None,
-                  progress=None) -> Dict[str, Any]:
+                  progress=None,
+                  resilience: Optional[ResilienceConfig] = None
+                  ) -> Dict[str, Any]:
     """QPS-vs-latency curves: one loadtest per (platform, qps) point.
 
     Resident indexes are shared across every leg — the build cache's
@@ -329,9 +567,12 @@ def run_qps_sweep(platforms: Sequence[str],
     scaled config is derived once.  Returns the ``repro loadtest`` JSON
     shape: ``{"curves": {platform: [point, ...]}, ...}``.
     """
+    if resilience is None:
+        resilience = default_config()
     curves: Dict[str, List[Dict[str, Any]]] = {}
     for platform in platforms:
-        backend = LaunchBackend(platform, guard=guard)
+        backend = LaunchBackend(platform, guard=guard,
+                                resilience=resilience)
         rows: List[Dict[str, Any]] = []
         for qps in qps_values:
             if progress is not None:
@@ -339,7 +580,7 @@ def run_qps_sweep(platforms: Sequence[str],
             report = run_loadtest(
                 platform, indexes, replace(profile, qps=qps),
                 policy=policy, clock=clock, n_shards=n_shards,
-                backend=backend, guard=guard)
+                backend=backend, guard=guard, resilience=resilience)
             rows.append(report.to_dict())
         curves[platform] = rows
     return {
@@ -357,6 +598,7 @@ def run_qps_sweep(platforms: Sequence[str],
         "clock": {"core_mhz": clock.core_mhz,
                   "launch_overhead_s": clock.launch_overhead_s},
         "n_shards": n_shards,
+        "resilience_mode": resilience.mode,
         "qps_values": list(qps_values),
         "curves": curves,
     }

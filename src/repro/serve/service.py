@@ -27,11 +27,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import (BackendLaunchError, ConfigurationError,
+                          DeadlineExceededError, OverloadShedError)
 from repro.serve.backends import LaunchBackend
 from repro.serve.batcher import BatchPolicy
 from repro.serve.clock import DEFAULT_CLOCK, ServiceClock
 from repro.serve.index import ResidentIndex
+from repro.serve.resilience import ResilienceConfig, default_config
 
 _CLOSE = object()   # queue sentinel: collector drains and exits
 
@@ -58,6 +60,7 @@ class _Pending:
     payload: Any
     future: "asyncio.Future[QueryResponse]"
     t_submit: float = field(default_factory=time.monotonic)
+    deadline: Optional[float] = None    # absolute, time.monotonic domain
 
 
 class ServeService:
@@ -68,14 +71,20 @@ class ServeService:
                  policy: Optional[BatchPolicy] = None,
                  clock: ServiceClock = DEFAULT_CLOCK,
                  guard=None,
-                 backend: Optional[LaunchBackend] = None):
+                 backend: Optional[LaunchBackend] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         if not indexes:
             raise ConfigurationError("ServeService needs >= 1 index")
         self.indexes = dict(indexes)
         self.platform = platform
         self.policy = policy or BatchPolicy()
         self.clock = clock
-        self.backend = backend or LaunchBackend(platform, guard=guard)
+        if resilience is None:
+            resilience = backend.resilience if backend is not None \
+                else default_config()
+        self.resilience = resilience
+        self.backend = backend or LaunchBackend(platform, guard=guard,
+                                                resilience=resilience)
         for cls, index in self.indexes.items():
             if self.policy.max_batch > index.capacity:
                 raise ConfigurationError(
@@ -86,6 +95,9 @@ class ServeService:
         self._running = False
         self.queries_served = 0
         self.batches_served = 0
+        self.queries_shed = 0
+        self.queries_expired = 0
+        self.queries_failed = 0
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> None:
@@ -139,10 +151,21 @@ class ServeService:
             raise ConfigurationError(
                 f"qid {qid} out of range for {query_class!r} "
                 f"(canonical stream has {index.n_canonical})")
+        deadline = None
+        if self.resilience.sheds:
+            depth = sum(q.qsize() for q in self._queues.values())
+            if depth >= self.resilience.queue_limit(query_class):
+                self.queries_shed += 1
+                raise OverloadShedError(
+                    f"{query_class!r} query shed: {depth} queued >= "
+                    f"limit {self.resilience.queue_limit(query_class)}",
+                    reason="queue")
+            if self.resilience.deadline_s is not None:
+                deadline = time.monotonic() + self.resilience.deadline_s
         future: "asyncio.Future[QueryResponse]" = \
             asyncio.get_running_loop().create_future()
         await self._queues[query_class].put(
-            _Pending(query_class, qid, payload, future))
+            _Pending(query_class, qid, payload, future, deadline=deadline))
         return await future
 
     # -- batching ----------------------------------------------------------------
@@ -170,6 +193,24 @@ class ServeService:
 
     async def _dispatch(self, cls: str, batch: List[_Pending]) -> None:
         index = self.indexes[cls]
+        if self.resilience.sheds:
+            # Expire queries whose deadline passed during batching so a
+            # doomed slot never occupies the accelerator.
+            now = time.monotonic()
+            live: List[_Pending] = []
+            for pending in batch:
+                if pending.deadline is not None and now >= pending.deadline:
+                    self.queries_expired += 1
+                    if not pending.future.done():
+                        pending.future.set_exception(DeadlineExceededError(
+                            f"{cls!r} query missed its "
+                            f"{self.resilience.deadline_ms}ms deadline "
+                            f"while batching"))
+                else:
+                    live.append(pending)
+            batch = live
+            if not batch:
+                return
         loop = asyncio.get_running_loop()
         try:
             launch = await loop.run_in_executor(
@@ -178,6 +219,14 @@ class ServeService:
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
+            return
+        if launch.failed:
+            self.queries_failed += len(batch)
+            error = BackendLaunchError(
+                f"batch launch failed: {launch.error}")
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
             return
         self.batches_served += 1
         now = time.monotonic()
@@ -198,11 +247,12 @@ class ServeService:
             ))
 
     def _launch_sync(self, index: ResidentIndex, batch: List[_Pending]):
+        now = time.monotonic()
         if all(p.qid is not None for p in batch):
-            return self.backend.launch(index, [p.qid for p in batch])
+            return self.backend.launch(index, [p.qid for p in batch], now)
         payloads = [index.payload(p.qid) if p.qid is not None else p.payload
                     for p in batch]
-        return self.backend.launch_payloads(index, payloads)
+        return self.backend.launch_payloads(index, payloads, now)
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -215,4 +265,15 @@ class ServeService:
             "launches": self.backend.launches,
             "policy": {"max_batch": self.policy.max_batch,
                        "max_wait_s": self.policy.max_wait_s},
+            "resilience": {
+                "mode": self.resilience.mode,
+                "queries_shed": self.queries_shed,
+                "queries_expired": self.queries_expired,
+                "queries_failed": self.queries_failed,
+                "retries": self.backend.retries,
+                "breaker_opens": self.backend.breaker.opens,
+                "degraded_reasons": dict(
+                    sorted(self.backend.degraded_reasons.items())),
+                "corrupt_results": self.backend.corrupt_detected,
+            },
         }

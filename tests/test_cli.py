@@ -172,6 +172,61 @@ class TestServingCLI:
         assert main(["loadtest", "--qps", "fast"]) == 2
         assert "bad --qps" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("argv, fragment", [
+        (["loadtest", "--qps", "-5"], "--qps"),
+        (["loadtest", "--shards", "0"], "--shards"),
+        (["loadtest", "--max-batch", "0"], "--max-batch"),
+        (["loadtest", "--max-wait-ms", "-1"], "--max-wait-ms"),
+        (["loadtest", "--deadline-ms", "0"], "--deadline-ms"),
+        (["loadtest", "--duration", "0"], "--duration"),
+        (["loadtest", "--warmup", "-0.1"], "--warmup"),
+        (["loadtest", "--arrival", "burst", "--burst-size", "0"],
+         "--burst-size"),
+        (["loadtest", "--mix", "point=oops"], "--mix"),
+        (["loadtest", "--mix", "zorp"], "zorp"),
+        (["loadtest", "--mix", "point=-1"], "--mix"),
+        (["loadtest", "--shards", "-2"], "--shards"),
+        (["serve", "--mix", "point=0"], "--mix"),
+    ])
+    def test_validation_catches_bad_serve_args(self, argv, fragment,
+                                               capsys):
+        """Satellite: malformed serving options die up front with a
+        friendly message naming the offending flag — never a traceback
+        mid-loadtest."""
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_resilience_flags_parse_and_export(self, monkeypatch):
+        # _apply_resilience_options writes os.environ directly (the CLI
+        # is a one-shot process); setenv first so monkeypatch restores.
+        monkeypatch.setenv("REPRO_RESILIENCE", "")
+        monkeypatch.setenv("REPRO_RESILIENCE_DEADLINE_MS", "")
+        args = build_parser().parse_args(
+            ["loadtest", "--resilience", "shed", "--deadline-ms", "20"])
+        assert args.resilience == "shed" and args.deadline_ms == 20.0
+        from repro.__main__ import _apply_resilience_options
+        import os
+        _apply_resilience_options(args)
+        assert os.environ["REPRO_RESILIENCE"] == "shed"
+        assert os.environ["REPRO_RESILIENCE_DEADLINE_MS"] == "20.0"
+
+    def test_resilience_mode_rejects_unknown_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--resilience", "yolo"])
+
+    def test_loadtest_shed_mode_reports_slo(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESILIENCE", "")   # restore after leak
+        code = main(["loadtest", "--platform", "tta", "--qps", "400",
+                     "--duration", "0.02", "--warmup", "0",
+                     "--mix", "point", "--resilience", "shed"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "resilience=shed" in captured.out
+        assert "goodput" in captured.out
+        assert "[slo]" in captured.err
+
     def test_loadtest_emits_curves_json(self, tmp_path, capsys):
         out_path = tmp_path / "curves.json"
         code = main(["loadtest", "--platform", "gpu,tta,ttaplus",

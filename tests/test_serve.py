@@ -32,6 +32,7 @@ from repro.serve import (
     percentile,
     run_loadtest,
     run_qps_sweep,
+    stream_signature,
 )
 
 #: Tiny construction params so every test's index builds in
@@ -221,6 +222,48 @@ class TestLoadgen:
             parse_mix(",")
 
 
+class TestLoadgenDeterminism:
+    """Same seed => identical arrival stream, for every arrival process.
+
+    The resilience fault matrix and the overload demo both lean on this:
+    a chaos run is only diagnosable if replaying the seed replays the
+    exact offered load.
+    """
+
+    ARRIVALS = ("poisson", "uniform", "burst")
+
+    def _profile(self, arrival, seed):
+        return LoadProfile(qps=900.0, duration_s=0.3, warmup_s=0.1,
+                           arrival=arrival, burst_size=4,
+                           mix={"point": 2.0, "knn": 1.0, "range": 1.0},
+                           seed=seed)
+
+    @pytest.mark.parametrize("arrival", ARRIVALS)
+    def test_same_seed_same_signature(self, arrival):
+        first = generate_arrivals(self._profile(arrival, seed=13))
+        second = generate_arrivals(self._profile(arrival, seed=13))
+        assert stream_signature(first) == stream_signature(second)
+
+    @pytest.mark.parametrize("arrival", ARRIVALS)
+    def test_different_seed_different_signature(self, arrival):
+        first = generate_arrivals(self._profile(arrival, seed=13))
+        second = generate_arrivals(self._profile(arrival, seed=14))
+        assert stream_signature(first) != stream_signature(second)
+
+    @pytest.mark.parametrize("arrival", ARRIVALS)
+    def test_warmup_tagging_is_part_of_the_signature(self, arrival):
+        profile = self._profile(arrival, seed=13)
+        arrivals = generate_arrivals(profile)
+        signature = stream_signature(arrivals)
+        # The signature carries (t, class, qid, measured) per arrival...
+        assert all(len(entry) == 4 for entry in signature)
+        # ...and the measured flag is exactly the warmup cut.
+        assert all(measured == (t >= profile.warmup_s)
+                   for t, _, _, measured in signature)
+        assert any(not measured for *_, measured in signature)
+        assert any(measured for *_, measured in signature)
+
+
 # -- percentiles --------------------------------------------------------------------
 class TestPercentile:
     def test_nearest_rank(self):
@@ -244,7 +287,7 @@ class _StubBackend:
         self.launches = 0
         self.degraded = 0
 
-    def launch(self, index, qids):
+    def launch(self, index, qids, now=0.0):
         self.launches += 1
         self.launched.append(tuple(qids))
         return BatchLaunch(self.platform, index.query_class, len(qids),
