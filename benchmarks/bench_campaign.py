@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Campaign-scheduler benchmark → ``BENCH_campaign.json``.
+
+Three sections:
+
+1. **Lease microbenchmark** — claims/sec and steals/sec of the atomic
+   lease-file protocol (:mod:`repro.campaign.leases`), isolating the
+   filesystem rendezvous cost from the simulations it schedules.
+
+2. **Campaign scaling** — one 32-point factorial run table (B-Tree
+   sizes × query counts × platforms × dataset-resample reps) drained
+   cold three ways: one worker, ``--workers N`` local processes, and a
+   re-run over the completed directory (which must execute nothing).
+   Every drain is checked for **bit-identical results**: the manifest's
+   ``result_fingerprint`` must agree across worker counts, or this
+   harness exits nonzero — speed that changes answers is not speed.
+
+3. **Resume overhead** — drain half the table, then measure the time
+   for a full run to pick up the remainder (the crash-recovery path).
+
+The minimum over repetitions is reported for each wall time, regimes
+interleaved within each repetition so machine drift cannot bias the
+comparison.  ``--assert-speedup X`` exits nonzero when the multi-worker
+speedup falls below ``X`` — meaningful only on hosts with at least
+``--workers`` cores, so it is an explicit opt-in (CI runs it on
+multi-core runners; the committed baseline records whatever the
+baseline host could do).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py \
+        --out BENCH_campaign.json --scale smoke --reps 2 --workers 4
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.campaign import CampaignSpec, LeaseBoard, run_campaign  # noqa: E402
+from repro.exec.cache import ResultCache  # noqa: E402
+from repro.sim import scheduler_fingerprint  # noqa: E402
+
+#: Run-table sizes per --scale; both expand to kinds the behavioral
+#: simulator drains in well under a second per point.
+SCALES = {
+    "smoke": {"n_keys": [2048, 4096], "n_queries": [512],
+              "platforms": ["gpu", "tta"], "reps": 2},        # 8 points
+    "small": {"n_keys": [2048, 4096, 8192, 16384],
+              "n_queries": [1024, 2048],
+              "platforms": ["gpu", "tta"], "reps": 2},        # 32 points
+}
+
+
+def table_for(scale: str) -> CampaignSpec:
+    cfg = SCALES[scale]
+    return CampaignSpec.from_dict({
+        "name": f"bench-{scale}",
+        "workloads": [{"kind": "btree",
+                       "params": {"n_keys": cfg["n_keys"],
+                                  "n_queries": cfg["n_queries"]}}],
+        "platforms": cfg["platforms"],
+        "reps": cfg["reps"],
+    })
+
+
+# -- section 1: lease microbenchmark ------------------------------------------
+def lease_microbench(n: int, reps: int) -> dict:
+    claims = steals = 0.0
+    for _ in range(reps):
+        with tempfile.TemporaryDirectory() as tmp:
+            board = LeaseBoard(tmp, "bench", ttl_s=300.0)
+            t0 = time.perf_counter()
+            for i in range(n):
+                board.claim(f"k{i}")
+            claims = max(claims, n / (time.perf_counter() - t0))
+            # Expire everything (content clock and mtime both count),
+            # then steal it all back.
+            past = time.time() - 9999
+            for path in board.root.glob("*.json"):
+                lease = json.loads(path.read_text())
+                lease["acquired"] = past
+                path.write_text(json.dumps(lease))
+                os.utime(path, (past, past))
+            thief = LeaseBoard(tmp, "thief", ttl_s=300.0)
+            t0 = time.perf_counter()
+            for i in range(n):
+                thief.steal(f"k{i}")
+            steals = max(steals, n / (time.perf_counter() - t0))
+            assert thief.stolen == n
+    return {"n_leases": n, "claims_per_sec": claims,
+            "steals_per_sec": steals}
+
+
+# -- sections 2 + 3: campaign scaling -----------------------------------------
+def _drain(spec: CampaignSpec, workers: int, root: pathlib.Path) -> dict:
+    from repro.harness.runner import clear_workload_cache
+
+    # Every drain starts cold: the process-global workload cache would
+    # otherwise turn repeat simulations into warm replays and make the
+    # 1-worker-vs-N comparison measure nothing but fork overhead.
+    # Cleared in the parent before forking, so workers start cold too.
+    clear_workload_cache()
+    cache = ResultCache(root)
+    t0 = time.perf_counter()
+    manifest = run_campaign(spec, workers=workers, cache=cache, quiet=True)
+    wall = time.perf_counter() - t0
+    if manifest["totals"]["failed"] or manifest["totals"]["unresolved"]:
+        raise SystemExit(f"benchmark campaign did not drain cleanly: "
+                         f"{manifest['totals']}")
+    return {"wall_s": wall, "fingerprint": manifest["result_fingerprint"],
+            "invocation": manifest["invocation"]}
+
+
+def campaign_bench(scale: str, workers: int, reps: int,
+                   scratch: pathlib.Path) -> dict:
+    spec = table_for(scale)
+    n_points = len(spec.expand())
+    one, many, rerun, resume = [], [], [], []
+    fingerprints = set()
+    for rep in range(reps):
+        for label, runs in (("w1", one), (f"w{workers}", many)):
+            root = scratch / f"{label}-r{rep}"
+            drained = _drain(spec, 1 if label == "w1" else workers, root)
+            runs.append(drained["wall_s"])
+            fingerprints.add(drained["fingerprint"])
+            if label != "w1":
+                # Re-run over the completed directory: zero simulations.
+                t0 = time.perf_counter()
+                again = _drain(spec, 1, root)
+                rerun.append(time.perf_counter() - t0)
+                if again["invocation"]["executed"]:
+                    raise SystemExit("re-run executed simulations; the "
+                                     "records ledger is broken")
+                fingerprints.add(again["fingerprint"])
+            shutil.rmtree(root)
+        # Resume path: half the table drained, then a full run.
+        root = scratch / f"resume-r{rep}"
+        cache = ResultCache(root)
+        from repro.campaign import init_campaign, run_worker
+        directory = init_campaign(spec, cache=cache)
+        run_worker(directory, worker_id="victim", cache=cache,
+                   max_points=n_points // 2, quiet=True)
+        t0 = time.perf_counter()
+        drained = _drain(spec, 1, root)
+        resume.append(time.perf_counter() - t0)
+        fingerprints.add(drained["fingerprint"])
+        shutil.rmtree(root)
+    if len(fingerprints) != 1:
+        raise SystemExit(f"result fingerprints diverged across drains: "
+                         f"{sorted(fingerprints)}")
+    wall_1w, wall_mw = min(one), min(many)
+    return {
+        "points": n_points,
+        "workers": workers,
+        "wall_1w_s": wall_1w,
+        "wall_1w_reps": one,
+        "wall_mw_s": wall_mw,
+        "wall_mw_reps": many,
+        "speedup": wall_1w / wall_mw if wall_mw else 0.0,
+        "rerun_s": min(rerun),
+        "rerun_reps": rerun,
+        "resume_half_s": min(resume),
+        "resume_half_reps": resume,
+        "result_fingerprint": fingerprints.pop(),
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=pathlib.Path, default=None)
+    ap.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    ap.add_argument("--reps", type=int, default=2)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--lease-n", type=int, default=2000)
+    ap.add_argument("--assert-speedup", type=float, default=None,
+                    metavar="X",
+                    help="exit nonzero unless multi-worker speedup >= X "
+                         "(only meaningful on a host with >= --workers "
+                         "cores)")
+    args = ap.parse_args()
+
+    doc = {
+        "schema": "bench-campaign-v1",
+        "generated_unix": time.time(),
+        "package_version": __version__,
+        "scheduler_fingerprint": scheduler_fingerprint(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": args.scale,
+        "reps": args.reps,
+        "cpus": os.cpu_count(),
+    }
+    doc["leases"] = lease_microbench(args.lease_n, args.reps)
+    with tempfile.TemporaryDirectory() as scratch:
+        doc["campaign"] = campaign_bench(args.scale, args.workers,
+                                         args.reps,
+                                         pathlib.Path(scratch))
+
+    camp = doc["campaign"]
+    print(f"[bench] {camp['points']} points: 1 worker {camp['wall_1w_s']:.2f}s, "
+          f"{camp['workers']} workers {camp['wall_mw_s']:.2f}s "
+          f"(speedup {camp['speedup']:.2f}x) on {doc['cpus']} cpu(s)")
+    print(f"[bench] re-run {camp['rerun_s']:.3f}s (0 simulations), "
+          f"resume-from-half {camp['resume_half_s']:.2f}s")
+    print(f"[bench] leases: {doc['leases']['claims_per_sec']:.0f} claims/s, "
+          f"{doc['leases']['steals_per_sec']:.0f} steals/s")
+    print(f"[bench] results bit-identical across drains "
+          f"({camp['result_fingerprint'][:16]})")
+
+    if args.out:
+        args.out.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"[bench] wrote {args.out}")
+    if args.assert_speedup is not None and \
+            camp["speedup"] < args.assert_speedup:
+        print(f"[bench] FAIL: speedup {camp['speedup']:.2f}x < "
+              f"required {args.assert_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

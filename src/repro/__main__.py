@@ -9,9 +9,14 @@ Examples::
     python -m repro run fig13 --metrics-out results/fig13.metrics.json
     python -m repro trace fig12 --scale smoke -o trace.json
     python -m repro sweep btree --param n_keys=4096,16384 --jobs 4
+    python -m repro campaign run table.json --workers 4
+    python -m repro campaign worker --join ~/.cache/repro/campaigns/ab-12
+    python -m repro campaign status ~/.cache/repro/campaigns/ab-12
+    python -m repro bench BENCH_core.json /tmp/candidate.json --check
     python -m repro loadtest --platform gpu,tta,ttaplus --qps 500,2000
     python -m repro serve --platform tta --input queries.jsonl
     python -m repro cache stats
+    python -m repro cache prune --stale-leases
     python -m repro cache clear
 
 ``run`` and ``sweep`` route every simulation point through the
@@ -48,16 +53,12 @@ EXPERIMENTS = {
     "nbody_fusion": experiments.nbody_fusion,
 }
 
-#: Platforms accepted by each sweepable workload family's runner.
-SWEEP_PLATFORMS = {
-    "btree": ("gpu", "tta", "ttaplus"),
-    "nbody": ("gpu", "tta", "ttaplus"),
-    "rtnn": ("gpu", "rta", "tta", "ttaplus", "ttaplus_opt"),
-    "rtree": ("gpu", "tta", "ttaplus"),
-    "knn": ("gpu", "tta", "ttaplus"),
-    "wknd": ("rta", "ttaplus", "ttaplus_opt"),
-    "lumi": ("gpu", "rta", "ttaplus", "ttaplus_opt"),
-}
+from repro.campaign.spec import KIND_PLATFORMS
+
+#: Platforms accepted by each sweepable workload family's runner —
+#: shared with the campaign expansion layer so ``sweep`` and
+#: ``campaign`` can never disagree about axis validity.
+SWEEP_PLATFORMS = KIND_PLATFORMS
 
 
 def _add_exec_options(parser: argparse.ArgumentParser) -> None:
@@ -101,12 +102,19 @@ command groups:
     sweep               custom parameter sweep over one workload family
     trace               run one experiment with the cycle tracer on
 
+  campaigns (factorial run tables, repro.campaign):
+    campaign run        expand and drain a run table with N local workers
+    campaign worker     join an existing campaign from this (or any) host
+    campaign status     progress probe over a campaign directory
+    campaign expand     print the expanded run table without running it
+    bench               diff two BENCH_*.json files; --check gates CI
+
   serving (resident indexes, repro.serve):
     serve               answer JSON-lines queries over warm indexes
     loadtest            open-loop load generation -> QPS vs latency curves
 
   maintenance:
-    cache               inspect or clear the on-disk result/build cache
+    cache               inspect, prune, or clear the on-disk caches
 """
 
 
@@ -291,9 +299,79 @@ def build_parser() -> argparse.ArgumentParser:
                                "of the summary table")
     _add_serve_options(loadtest)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="factorial run tables over the work-stealing scheduler")
+    csub = campaign.add_subparsers(dest="campaign_cmd", required=True)
+
+    crun = csub.add_parser(
+        "run", help="expand a run-table JSON and drain it with N local "
+                    "worker processes (resumable; re-runs are free)")
+    crun.add_argument("table", type=pathlib.Path,
+                      help="campaign document (JSON run table)")
+    crun.add_argument("--workers", "-w", type=int, default=1, metavar="N",
+                      help="local worker processes (default: 1); workers "
+                           "on other hosts may join the same directory")
+    crun.add_argument("--dir", type=pathlib.Path, default=None,
+                      metavar="DIR",
+                      help="campaign directory (default: "
+                           "<cache>/campaigns/<name>-<id>)")
+    crun.add_argument("--json", action="store_true",
+                      help="print the finalized manifest as JSON")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress lines")
+    crun.add_argument("--guard", default=None,
+                      choices=("off", "watch", "on", "strict"),
+                      help="simulation guard mode for all points")
+
+    cworker = csub.add_parser(
+        "worker", help="join an existing campaign as one extra worker "
+                       "(run this on any host sharing the cache fs)")
+    cworker.add_argument("--join", type=pathlib.Path, required=True,
+                         metavar="DIR", help="campaign directory to drain")
+    cworker.add_argument("--id", default=None, metavar="ID",
+                         help="worker id (default: w<pid>)")
+    cworker.add_argument("--max-points", type=int, default=None, metavar="N",
+                         help="stop after resolving N points (partial)")
+    cworker.add_argument("--max-wait", type=float, default=None,
+                         metavar="SEC",
+                         help="give up after SEC without progress")
+    cworker.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress lines")
+
+    cstatus = csub.add_parser(
+        "status", help="progress probe over a campaign directory")
+    cstatus.add_argument("dir", type=pathlib.Path)
+    cstatus.add_argument("--json", action="store_true")
+
+    cexpand = csub.add_parser(
+        "expand", help="print the expanded run table without running it")
+    cexpand.add_argument("table", type=pathlib.Path)
+    cexpand.add_argument("--json", action="store_true")
+
+    bench = sub.add_parser(
+        "bench", help="diff two BENCH_*.json files with noise-aware "
+                      "thresholds; --check exits non-zero on regression")
+    bench.add_argument("baseline", type=pathlib.Path)
+    bench.add_argument("candidate", type=pathlib.Path)
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 when any gated leaf regressed")
+    bench.add_argument("--threshold", type=float, default=10.0,
+                       metavar="PCT",
+                       help="base regression gate in percent (default: 10)")
+    bench.add_argument("--noise-factor", type=float, default=3.0,
+                       metavar="F",
+                       help="widen each leaf's gate to F x its baseline "
+                            "rep-to-rep cv%% (default: 3)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full diff as JSON")
+
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result/build cache")
-    cache.add_argument("action", choices=("stats", "clear"))
+        "cache", help="inspect, prune, or clear the on-disk caches")
+    cache.add_argument("action", choices=("stats", "prune", "clear"))
+    cache.add_argument("--stale-leases", action="store_true",
+                       help="with prune: also remove expired campaign "
+                            "lease files (crashed workers' claims)")
     return parser
 
 
@@ -659,7 +737,7 @@ def cmd_sweep(kind: str, platforms, params, csv_dir=None, json_dir=None,
     return 1 if failures else 0
 
 
-def cmd_cache(action: str) -> int:
+def cmd_cache(action: str, stale_leases: bool = False) -> int:
     from repro.exec import ResultCache
 
     cache = ResultCache()
@@ -670,10 +748,126 @@ def cmd_cache(action: str) -> int:
         print(f"builds:     {stats['builds']} (resident-index workloads)")
         print(f"size:       {stats['bytes'] / 1e6:.2f} MB")
         print(f"corrupt:    {stats['corrupt']} (quarantined)")
+        print(f"campaigns:  {stats['campaigns']} "
+              f"(leases: {stats['leases']}, "
+              f"stale: {stats['stale_leases']})")
+        print(f"quarantine: {stats['quarantine']} guard bundles")
+    elif action == "prune":
+        bundles = cache.prune_quarantine()
+        line = f"pruned {bundles} quarantine/corrupt file(s)"
+        if stale_leases:
+            leases = cache.prune_stale_leases()
+            line += f", {leases} stale campaign lease(s)"
+        print(f"{line} from {cache.base}")
     else:
         removed = cache.clear()
         print(f"removed {removed} cached entries (runs + builds) "
               f"from {cache.base}")
+    return 0
+
+
+# -- campaigns -------------------------------------------------------------------
+def cmd_campaign(args) -> int:
+    import json
+
+    from repro.campaign import (
+        CampaignSpec,
+        campaign_dir_for,
+        run_campaign,
+        run_worker,
+        status,
+    )
+    from repro.errors import ConfigurationError
+
+    try:
+        if args.campaign_cmd == "run":
+            spec = CampaignSpec.from_file(args.table)
+            manifest = run_campaign(spec, workers=args.workers,
+                                    directory=args.dir, quiet=args.quiet)
+            if args.json:
+                print(json.dumps(manifest, indent=1, default=str))
+            else:
+                totals, inv = manifest["totals"], manifest["invocation"]
+                print(f"[campaign] {spec.slug}: {totals['points']} points "
+                      f"in {manifest['wall_seconds']:.2f}s on "
+                      f"{manifest['n_workers']} worker(s)")
+                print(f"[campaign] this run: executed={inv['executed']} "
+                      f"cached={inv['cached']} skipped={inv['skipped']} "
+                      f"failed={inv['failed']} "
+                      f"quarantined={inv['quarantined']} "
+                      f"stolen={inv['stolen']}")
+                print(f"[campaign] cumulative: executed={totals['executed']} "
+                      f"cached={totals['cached']} "
+                      f"failed={totals['failed']} "
+                      f"quarantined={totals['quarantined']} "
+                      f"unresolved={totals['unresolved']}")
+                print(f"[campaign] result fingerprint "
+                      f"{manifest['result_fingerprint'][:16]}  "
+                      f"manifest {manifest['directory']}/manifest.json")
+            bad = manifest["totals"]["failed"] \
+                + manifest["totals"]["unresolved"]
+            return 1 if bad else 0
+        if args.campaign_cmd == "worker":
+            report = run_worker(args.join, worker_id=args.id,
+                                max_points=args.max_points,
+                                max_wait_s=args.max_wait, quiet=args.quiet)
+            print(f"[campaign] worker {report.worker_id}: "
+                  f"executed={report.executed} cached={report.cached} "
+                  f"skipped={report.skipped} failed={report.failed} "
+                  f"quarantined={report.quarantined} "
+                  f"stolen={report.stolen}"
+                  f"{' (partial)' if report.partial else ''}")
+            return 1 if report.errors and not report.resolved else 0
+        if args.campaign_cmd == "status":
+            doc = status(args.dir)
+            if args.json:
+                print(json.dumps(doc, indent=1, default=str))
+            else:
+                print(f"[campaign] {doc['campaign']} ({doc['slug']}): "
+                      f"{doc['resolved']}/{doc['points']} resolved, "
+                      f"{doc['unresolved']} open; statuses "
+                      f"{doc['statuses']}; leases {doc['leases']}; "
+                      f"manifest "
+                      f"{'yes' if doc['manifest_written'] else 'no'}")
+            return 0
+        # expand
+        spec = CampaignSpec.from_file(args.table)
+        points = spec.expand()
+        if args.json:
+            print(json.dumps(
+                [{"key": p.key, "label": p.label, "axes": p.axes}
+                 for p in points], indent=1, default=str))
+        else:
+            for point in points:
+                print(f"{point.key[:16]}  {point.label}")
+            print(f"[campaign] {spec.slug}: {len(points)} points "
+                  f"(dir {campaign_dir_for(spec)})")
+        return 0
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.campaign import check, compare_files
+
+    try:
+        diff = compare_files(args.baseline, args.candidate,
+                             threshold_pct=args.threshold,
+                             noise_factor=args.noise_factor)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=1, default=str))
+    else:
+        print(diff.summary())
+    if args.check:
+        code, verdict = check(diff)
+        print(verdict)
+        return code
     return 0
 
 
@@ -916,7 +1110,11 @@ def main(argv=None) -> int:
                          json_out=args.json, jobs=args.jobs,
                          no_cache=args.no_cache, timeout=args.timeout)
     if args.command == "cache":
-        return cmd_cache(args.action)
+        return cmd_cache(args.action, stale_leases=args.stale_leases)
+    if args.command == "campaign":
+        return cmd_campaign(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "loadtest":

@@ -1,0 +1,267 @@
+"""``repro bench``: diff BENCH_*.json documents, gate CI on regressions.
+
+The repo records performance baselines as nested JSON (``BENCH_core``,
+``BENCH_obs``, ``BENCH_serve``, ``BENCH_campaign``).  This module
+flattens two such documents to dotted numeric leaves, classifies each
+leaf's *direction* (is bigger better or worse?), and reports relative
+deltas.  Two things keep the comparison honest:
+
+**Direction awareness** — ``fast_s`` growing 30% is a regression;
+``speedup`` growing 30% is a win; ``n_procs`` growing 30% means the
+benchmark config changed and is neither (reported, never gated).
+
+**Noise awareness** — wherever the baseline recorded per-rep samples
+(``<stem>_reps`` arrays next to the chosen ``<stem>_s`` value), the
+gate threshold for that leaf is widened to
+``max(threshold_pct, noise_factor × cv%)`` where cv is the baseline's
+own coefficient of variation.  A leaf whose reps historically scatter
+±15% cannot trip a 10% gate on scatter alone; a tight leaf keeps the
+tight gate.
+
+``--check`` turns regressions into a non-zero exit for CI.  Metadata
+leaves (timestamps, versions, host info) and structurally missing/added
+leaves never gate — growing a benchmark must not fail the build.
+"""
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Top-level keys that describe the measurement, not the measurement's
+#: outcome; never compared.
+METADATA_KEYS = frozenset({
+    "schema", "generated_unix", "package_version", "scheduler_fingerprint",
+    "python", "platform", "scale", "reps", "sample_rate", "bounds",
+    "build_fingerprint", "host",
+})
+
+#: Leaf-name fragments whose metric improves downward.
+_LOWER_BETTER = (
+    "_s", "_ms", "_us", "_ns", "seconds", "_ns_per_test", "wall",
+    "overhead_pct", "latency", "p50", "p95", "p99", "misses", "fraction",
+    "dropped", "failed", "shed", "expired", "corrupt", "rss",
+)
+#: Leaf-name fragments whose metric improves upward.
+_HIGHER_BETTER = (
+    "speedup", "per_sec", "qps", "hit_rate", "goodput", "throughput",
+    "capacity", "events_kept",
+)
+
+
+def classify(path: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` / None (informational) for one leaf."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    # Higher-better tokens win ties: "speedup_s" style names don't
+    # exist, but "goodput_qps" contains no lower token anyway; check
+    # the emphatic direction first.
+    for token in _HIGHER_BETTER:
+        if token in leaf:
+            return "higher"
+    for token in _LOWER_BETTER:
+        if leaf.endswith(token) or token in leaf:
+            return "lower"
+    return None
+
+
+def flatten(doc: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-path → numeric-leaf mapping; rep arrays are skipped here
+    (they feed :func:`noise_pct`, not the comparison itself)."""
+    flat: Dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if not prefix and key in METADATA_KEYS:
+                continue
+            if key.endswith("_reps"):
+                continue
+            flat.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)) and math.isfinite(doc):
+        flat[prefix[:-1]] = float(doc)
+    return flat
+
+
+def _rep_arrays(doc: Any, prefix: str = "") -> Dict[str, List[float]]:
+    reps: Dict[str, List[float]] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if key.endswith("_reps") and isinstance(value, (list, tuple)):
+                samples = [float(v) for v in value
+                           if isinstance(v, (int, float))]
+                if len(samples) >= 2:
+                    reps[f"{prefix}{key}"] = samples
+            else:
+                reps.update(_rep_arrays(value, f"{prefix}{key}."))
+    return reps
+
+
+def noise_pct(path: str, rep_arrays: Dict[str, List[float]]
+              ) -> Optional[float]:
+    """Baseline coefficient of variation (%) for ``path``, when its
+    sibling ``<stem>_reps`` samples were recorded."""
+    head, _, leaf = path.rpartition(".")
+    # "fast_s" samples live in "fast_reps"; other leaves may record
+    # reps under their full name ("<leaf>_reps").
+    stem = leaf[:-2] if leaf.endswith("_s") else leaf
+    prefix = f"{head}." if head else ""
+    candidates = [f"{prefix}{stem}_reps", f"{prefix}{leaf}_reps"]
+    for name in candidates:
+        samples = rep_arrays.get(name)
+        if samples:
+            mean = sum(samples) / len(samples)
+            if mean == 0:
+                return None
+            var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+            return 100.0 * math.sqrt(var) / abs(mean)
+    return None
+
+
+@dataclass
+class Delta:
+    """One compared leaf."""
+
+    path: str
+    baseline: float
+    candidate: float
+    pct: float                    # signed relative change, %
+    direction: Optional[str]      # lower / higher / None
+    threshold_pct: float          # effective gate for this leaf
+    noise_pct: Optional[float]    # baseline cv%, when reps existed
+
+    @property
+    def regression(self) -> bool:
+        if self.direction == "lower":
+            return self.pct > self.threshold_pct
+        if self.direction == "higher":
+            return self.pct < -self.threshold_pct
+        return False
+
+    @property
+    def improvement(self) -> bool:
+        if self.direction == "lower":
+            return self.pct < -self.threshold_pct
+        if self.direction == "higher":
+            return self.pct > self.threshold_pct
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path, "baseline": self.baseline,
+            "candidate": self.candidate, "pct": self.pct,
+            "direction": self.direction,
+            "threshold_pct": self.threshold_pct,
+            "noise_pct": self.noise_pct,
+            "regression": self.regression,
+            "improvement": self.improvement,
+        }
+
+
+@dataclass
+class BenchDiff:
+    """Full comparison of two BENCH documents."""
+
+    baseline_path: str
+    candidate_path: str
+    deltas: List[Delta]
+    missing: List[str]            # in baseline, absent from candidate
+    added: List[str]              # new in candidate
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [d for d in self.deltas if d.improvement]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_path,
+            "candidate": self.candidate_path,
+            "compared": len(self.deltas),
+            "regressions": [d.to_dict() for d in self.regressions],
+            "improvements": [d.to_dict() for d in self.improvements],
+            "missing": self.missing,
+            "added": self.added,
+        }
+
+    def summary(self, limit: int = 10) -> str:
+        lines = [f"[bench] {len(self.deltas)} leaves compared "
+                 f"({self.baseline_path} -> {self.candidate_path}): "
+                 f"{len(self.regressions)} regression(s), "
+                 f"{len(self.improvements)} improvement(s), "
+                 f"{len(self.missing)} missing, {len(self.added)} added"]
+        worst = sorted(self.regressions, key=lambda d: -abs(d.pct))
+        for delta in worst[:limit]:
+            noise = (f", noise cv {delta.noise_pct:.1f}%"
+                     if delta.noise_pct is not None else "")
+            lines.append(
+                f"[bench]   REGRESSION {delta.path}: "
+                f"{delta.baseline:.6g} -> {delta.candidate:.6g} "
+                f"({delta.pct:+.1f}%, gate ±{delta.threshold_pct:.1f}%"
+                f"{noise})")
+        best = sorted(self.improvements, key=lambda d: -abs(d.pct))
+        for delta in best[:limit]:
+            lines.append(
+                f"[bench]   improvement {delta.path}: "
+                f"{delta.baseline:.6g} -> {delta.candidate:.6g} "
+                f"({delta.pct:+.1f}%)")
+        return "\n".join(lines)
+
+
+def load_bench(path) -> Dict[str, Any]:
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read benchmark file {path}: {exc}") \
+            from None
+    if not isinstance(doc, dict):
+        raise ValueError(f"benchmark file {path} is not a JSON object")
+    return doc
+
+
+def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
+            baseline_path: str = "baseline",
+            candidate_path: str = "candidate",
+            threshold_pct: float = 10.0,
+            noise_factor: float = 3.0) -> BenchDiff:
+    """Noise- and direction-aware comparison of two BENCH documents."""
+    base_flat = flatten(baseline)
+    cand_flat = flatten(candidate)
+    reps = _rep_arrays(baseline)
+    deltas: List[Delta] = []
+    for path in sorted(set(base_flat) & set(cand_flat)):
+        base, cand = base_flat[path], cand_flat[path]
+        if base == 0:
+            pct = 0.0 if cand == 0 else math.copysign(math.inf, cand)
+        else:
+            pct = 100.0 * (cand - base) / abs(base)
+        cv = noise_pct(path, reps)
+        threshold = threshold_pct if cv is None \
+            else max(threshold_pct, noise_factor * cv)
+        deltas.append(Delta(path, base, cand, pct, classify(path),
+                            threshold, cv))
+    return BenchDiff(
+        baseline_path=baseline_path, candidate_path=candidate_path,
+        deltas=deltas,
+        missing=sorted(set(base_flat) - set(cand_flat)),
+        added=sorted(set(cand_flat) - set(base_flat)),
+    )
+
+
+def compare_files(baseline, candidate, threshold_pct: float = 10.0,
+                  noise_factor: float = 3.0) -> BenchDiff:
+    return compare(load_bench(baseline), load_bench(candidate),
+                   str(baseline), str(candidate),
+                   threshold_pct=threshold_pct, noise_factor=noise_factor)
+
+
+def check(diff: BenchDiff) -> Tuple[int, str]:
+    """(exit code, verdict line) for ``repro bench --check``."""
+    if diff.regressions:
+        return 1, (f"[bench] CHECK FAILED: {len(diff.regressions)} "
+                   f"perf regression(s) beyond the noise gate")
+    return 0, "[bench] check passed: no gated regression"

@@ -217,13 +217,39 @@ class ResultCache:
         if seconds is not None:
             sidecar["seconds"] = seconds
         self._atomic_write(meta, json.dumps(sidecar, indent=1).encode())
+        self.put_metrics(spec, result)
+
+    def put_metrics(self, spec: RunSpec, result: Any,
+                    extra: Optional[Dict[str, Any]] = None) -> bool:
+        """Write the flat metrics sidecar for ``spec``; True if written.
+
+        Split out of :meth:`put` so *every* path that produces a result
+        can record its metrics — including guard-degraded runs, whose
+        legacy-engine result is deliberately never :meth:`put` (the
+        entry key folds the fast-engine fingerprint) but whose metrics
+        must not vanish from reports.  ``extra`` lands in the sidecar
+        document (e.g. ``{"engine": "legacy", "degraded": True}``).
+        """
         snapshot = getattr(getattr(result, "stats", None), "metrics", None)
-        if snapshot:
-            doc = {"spec": spec.canonical(), "label": spec.label,
-                   "metrics": snapshot.as_dict()}
-            self._atomic_write(self.metrics_path(spec.key),
-                               json.dumps(doc, indent=1,
-                                          default=str).encode())
+        if not snapshot:
+            return False
+        doc = {"spec": spec.canonical(), "label": spec.label,
+               "metrics": snapshot.as_dict()}
+        if extra:
+            doc.update(extra)
+        path = self.metrics_path(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path,
+                           json.dumps(doc, indent=1, default=str).encode())
+        return True
+
+    def result_sha(self, key: str) -> Optional[str]:
+        """The SHA-256 of entry ``key``'s payload, from its sidecar.
+
+        None on a miss (or a pre-checksum entry) — campaign manifests
+        use this to fingerprint per-point results without unpickling.
+        """
+        return self._expected_sha(self._paths(key)[1])
 
     @staticmethod
     def _atomic_write(path: pathlib.Path, payload: bytes) -> None:
@@ -324,6 +350,86 @@ class ResultCache:
                 except OSError:
                     pass
 
+    # -- campaigns (repro.campaign coordination substrate) ----------------------
+    #: Leases older than this are considered stale by :meth:`stats` and
+    #: :meth:`prune_stale_leases` when the lease file itself does not
+    #: carry a ``ttl_s``; matches the campaign scheduler's default.
+    DEFAULT_LEASE_TTL_S = 300.0
+
+    @property
+    def campaigns_dir(self) -> pathlib.Path:
+        return self.base / "campaigns"
+
+    def _lease_files(self):
+        root = self.campaigns_dir
+        if not root.is_dir():
+            return
+        yield from root.glob("*/leases/*.json")
+
+    def _lease_stale(self, path: pathlib.Path) -> bool:
+        """A lease is stale once its writer-declared TTL has elapsed.
+
+        Self-contained re-statement of the campaign scheduler's expiry
+        rule (``repro.campaign`` imports ``repro.exec``, so the cache
+        cannot call back into it) minus the local-pid fast path — a
+        maintenance sweep only needs "old", not "stealable right now".
+        """
+        ttl = self.DEFAULT_LEASE_TTL_S
+        acquired = None
+        try:
+            lease = json.loads(path.read_text())
+            ttl = float(lease.get("ttl_s", ttl))
+            acquired = float(lease.get("acquired", 0.0))
+        except (OSError, ValueError):
+            pass
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return False
+        newest = mtime if acquired is None else max(mtime, acquired)
+        return time.time() - newest > ttl
+
+    def lease_stats(self) -> Dict[str, int]:
+        total = stale = 0
+        for path in self._lease_files():
+            total += 1
+            if self._lease_stale(path):
+                stale += 1
+        return {"total": total, "stale": stale}
+
+    def prune_stale_leases(self) -> int:
+        """Unlink expired campaign leases; returns how many went.
+
+        Safe against live sweeps by construction: a worker that was
+        merely slow re-acquires through the same atomic claim/steal
+        protocol, and double execution of a deterministic point is
+        byte-identical.
+        """
+        removed = 0
+        for path in list(self._lease_files()):
+            if not self._lease_stale(path):
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune_quarantine(self) -> int:
+        """Drop post-mortem artifacts: guard bundles and corrupt entries."""
+        removed = 0
+        for directory in (self.base / "quarantine", self.base / "corrupt"):
+            if not directory.is_dir():
+                continue
+            for path in directory.iterdir():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
     # -- maintenance -----------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         entries = 0
@@ -348,9 +454,20 @@ class ResultCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
+        campaigns = 0
+        if self.campaigns_dir.is_dir():
+            campaigns = sum(1 for p in self.campaigns_dir.iterdir()
+                            if p.is_dir())
+        quarantine = 0
+        quarantine_dir = self.base / "quarantine"
+        if quarantine_dir.is_dir():
+            quarantine = sum(1 for _ in quarantine_dir.glob("*.json"))
+        leases = self.lease_stats()
         return {"root": str(self.base), "format": FORMAT,
                 "entries": entries, "builds": builds, "bytes": size,
-                "corrupt": corrupt}
+                "corrupt": corrupt, "campaigns": campaigns,
+                "leases": leases["total"], "stale_leases": leases["stale"],
+                "quarantine": quarantine}
 
     def clear(self) -> int:
         """Delete every entry (runs and builds); returns how many."""

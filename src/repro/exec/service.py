@@ -398,6 +398,14 @@ class ExecutionService:
                          engine="legacy")
             return None
         self._memory[spec.key] = result
+        if self.cache is not None:
+            # The degraded result never enters the disk cache (its key
+            # folds the fast-engine fingerprint), but its metrics must
+            # still land: a sweep where some cells silently vanish from
+            # metrics reporting looks healthier than it is.
+            self.cache.put_metrics(spec, result,
+                                   extra={"engine": "legacy",
+                                          "degraded": True})
         self._record(spec, STATUS_QUARANTINED, attempts=attempts + 1,
                      seconds=seconds + time.monotonic() - started,
                      error=f"fast engine aborted ({error}){where}; "

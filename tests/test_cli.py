@@ -64,6 +64,35 @@ class TestParser:
         args = build_parser().parse_args(["cache", "stats"])
         assert args.command == "cache" and args.action == "stats"
 
+    def test_campaign_commands_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["campaign", "run", "table.json", "--workers", "4",
+             "--dir", str(tmp_path), "--quiet"])
+        assert args.command == "campaign" and args.campaign_cmd == "run"
+        assert args.workers == 4 and args.quiet
+        args = build_parser().parse_args(
+            ["campaign", "worker", "--join", str(tmp_path),
+             "--max-points", "3"])
+        assert args.campaign_cmd == "worker" and args.max_points == 3
+        args = build_parser().parse_args(
+            ["campaign", "status", str(tmp_path), "--json"])
+        assert args.campaign_cmd == "status" and args.json
+        args = build_parser().parse_args(
+            ["campaign", "expand", "table.json"])
+        assert args.campaign_cmd == "expand"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])  # subcommand required
+
+    def test_bench_and_prune_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "a.json", "b.json", "--check",
+             "--threshold", "15", "--noise-factor", "2.5"])
+        assert args.command == "bench" and args.check
+        assert args.threshold == 15.0 and args.noise_factor == 2.5
+        args = build_parser().parse_args(
+            ["cache", "prune", "--stale-leases"])
+        assert args.action == "prune" and args.stale_leases
+
 
 class TestCommands:
     def test_list_prints_everything(self, capsys):
@@ -291,3 +320,102 @@ class TestServingCLI:
         out = capsys.readouterr().out
         assert "builds:" in out
         assert "builds:     0" not in out
+
+
+class TestCampaignCLI:
+    @pytest.fixture()
+    def table(self, tmp_path):
+        path = tmp_path / "table.json"
+        path.write_text(json.dumps({
+            "name": "clitest",
+            "workloads": [{"kind": "btree",
+                           "params": {"n_keys": [256, 512],
+                                      "n_queries": 64}}],
+            "platforms": ["gpu"],
+            "reps": 1,
+        }))
+        return path
+
+    def test_campaign_run_and_free_rerun(self, table, capsys):
+        assert main(["campaign", "run", str(table), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "executed=2" in out and "unresolved=0" in out
+        assert "result fingerprint" in out
+        # The re-run touches no simulator: every point is skipped.
+        assert main(["campaign", "run", str(table), "--quiet"]) == 0
+        again = capsys.readouterr().out
+        assert "this run: executed=0" in again
+
+    def test_campaign_run_json_manifest(self, table, capsys):
+        assert main(["campaign", "run", str(table), "--quiet",
+                     "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["totals"]["points"] == 2
+        assert manifest["result_fingerprint"]
+
+    def test_campaign_expand_lists_points(self, table, capsys):
+        assert main(["campaign", "expand", str(table)]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "btree[n_keys=256,n_queries=64]@gpu/default#r0" in out
+
+    def test_campaign_worker_join_and_status(self, table, capsys):
+        assert main(["campaign", "expand", str(table)]) == 0
+        capsys.readouterr()
+        # Materialize the directory, then join it as a lone worker.
+        from repro.campaign import CampaignSpec, init_campaign
+
+        directory = init_campaign(CampaignSpec.from_file(table))
+        assert main(["campaign", "worker", "--join", str(directory),
+                     "--id", "joiner", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "worker joiner" in out and "executed=2" in out
+        assert main(["campaign", "status", str(directory)]) == 0
+        assert "2/2 resolved" in capsys.readouterr().out
+
+    def test_campaign_bad_table_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["campaign", "run", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_stats_shows_campaigns_and_prune(self, table, capsys):
+        assert main(["campaign", "run", str(table), "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "campaigns:  1" in out
+        assert main(["cache", "prune", "--stale-leases"]) == 0
+        assert "stale campaign lease" in capsys.readouterr().out
+
+    def test_bench_check_gates(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps({"g": {"fast_s": 1.0, "speedup": 8.0}}))
+        cand.write_text(json.dumps({"g": {"fast_s": 1.0, "speedup": 8.0}}))
+        assert main(["bench", str(base), str(cand), "--check"]) == 0
+        assert "check passed" in capsys.readouterr().out
+        cand.write_text(json.dumps({"g": {"fast_s": 1.5, "speedup": 8.0}}))
+        assert main(["bench", str(base), str(cand), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION g.fast_s" in out and "CHECK FAILED" in out
+        # Without --check a regression is reported but not fatal.
+        assert main(["bench", str(base), str(cand)]) == 0
+
+    def test_bench_json_output(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"g": {"fast_s": 1.0}}))
+        assert main(["bench", str(base), str(base), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["compared"] == 1 and doc["regressions"] == []
+
+    def test_bench_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["bench", str(tmp_path / "nope.json"),
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_help_epilog_groups_campaigns(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "campaign run" in out and "bench" in out

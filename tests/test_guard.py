@@ -379,6 +379,39 @@ class TestExecQuarantine:
         assert record.status == STATUS_QUARANTINED
         assert record.engine == "legacy"
 
+    def test_degraded_run_still_writes_metrics_sidecar(
+            self, tmp_path, monkeypatch):
+        """A guard-quarantined point resolved by the legacy engine must
+        not vanish from metrics reporting: the per-run metrics sidecar
+        is written on the degraded path too, tagged as such."""
+        from repro.exec.cache import ResultCache
+        from repro.exec.service import ExecutionService, STATUS_QUARANTINED
+        from repro.exec.spec import RunSpec
+
+        monkeypatch.setenv("REPRO_FAULTS", "stall:query=3")
+        monkeypatch.setenv("REPRO_GUARD_STALL_EVENTS", "10000")
+        monkeypatch.setenv("REPRO_GUARD_CHECK_EVENTS", "2000")
+
+        spec = RunSpec(kind="btree",
+                       workload={"variant": "btree", "n_keys": 512,
+                                 "n_queries": 32, "seed": 5},
+                       platform="tta")
+        cache = ResultCache(tmp_path)
+        service = ExecutionService(jobs=1, cache=cache)
+        service.run(spec)
+        assert service.manifest.records[spec.key].status \
+            == STATUS_QUARANTINED
+
+        sidecar = cache.metrics_path(spec.key)
+        assert sidecar.exists()
+        doc = json.loads(sidecar.read_text())
+        assert doc["engine"] == "legacy"
+        assert doc["degraded"] is True
+        assert doc["metrics"]  # a real snapshot, not an empty shell
+        # ... while the result itself still never enters the
+        # fast-engine-keyed disk cache.
+        assert not cache.contains(spec)
+
 
 # -- guard stays out of the model --------------------------------------------------
 class TestGuardTransparency:
