@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Mixed read/write serving benchmark → ``BENCH_mutate.json``.
+
+Runs the open-loop loadtest (``repro.serve.loadtest``) with a seeded
+write stream (``repro.mutation``) interleaved into the read load, per
+platform and per churn level, and records what mutation costs:
+
+* **Virtual-time results** — read latency percentiles with and without
+  churn, writes applied, refit/rebuild counts, and the quality decay
+  curve (``decay_peak`` at the worst point of the run, ``decay_final``
+  after maintenance recovers).  Deterministic for a given seed/profile:
+  drift here means the mutation *model* changed, not the machine.
+* **Host wall time** (``wall_s``, min over ``--reps``) — how long the
+  churned loadtest takes to simulate, tracking mutation-path simulator
+  throughput the way BENCH_serve tracks the read path.
+
+Every churn leg deep-copies the pristine indexes, so legs are
+independent and the committed baseline self-compares clean under
+``repro bench --check``.
+
+Non-gating for cross-machine timings: CI runs this in the
+informational perf-smoke job; the bench-gate job only self-compares
+the committed JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mutation.py \
+        --out BENCH_mutate.json --scale smoke --reps 2 \
+        --platforms gpu,tta,ttaplus --write-rates 0,150,450
+"""
+
+import argparse
+import copy
+import json
+import pathlib
+import platform as platform_mod
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.mutation import (  # noqa: E402
+    MutationConfig,
+    WriteProfile,
+    parse_rebuild_policy,
+)
+from repro.serve import (  # noqa: E402
+    SERVE_SCALES,
+    BatchPolicy,
+    LaunchBackend,
+    LoadProfile,
+    build_resident_index,
+    run_loadtest,
+)
+from repro.sim import scheduler_fingerprint  # noqa: E402
+
+DEFAULT_PLATFORMS = "gpu,tta,ttaplus"
+#: Total write rates (writes/second) per churn leg; 0 is the read-only
+#: baseline.  The mix at rate w is 2/3 inserts, 1/3 deletes.
+DEFAULT_WRITE_RATES = "0,150,450"
+
+
+def _mutation_for(rate: float, seed: int, policy_text: str,
+                  refit_threshold: int) -> MutationConfig:
+    mix = {"insert": 2.0 * rate / 3.0, "delete": rate / 3.0}
+    return MutationConfig(
+        write=WriteProfile(mix=mix, seed=seed),
+        policy=parse_rebuild_policy(policy_text),
+        refit_threshold=refit_threshold)
+
+
+def bench(scale: str, platforms, write_rates, duration: float,
+          warmup: float, qps: float, seed: int, reps: int,
+          rebuild_policy: str, refit_threshold: int) -> dict:
+    indexes = {}
+    for cls in ("point", "range", "knn", "radius"):
+        indexes[cls] = build_resident_index(cls, SERVE_SCALES[scale][cls])
+    profile = LoadProfile(qps=qps, duration_s=duration, warmup_s=warmup,
+                          seed=seed)
+    policy = BatchPolicy(max_batch=32, max_wait_s=2e-3)
+
+    points = {}
+    for platform in platforms:
+        backend = LaunchBackend(platform)
+        # Keyed by churn level (not a list): the bench differ flattens
+        # dict leaves only, so this shape is what lets --check gate the
+        # virtual-time latency and decay numbers.
+        rows = {}
+        for rate in write_rates:
+            mutation = None if rate <= 0 else _mutation_for(
+                rate, seed, rebuild_policy, refit_threshold)
+            walls, report = [], None
+            for _ in range(reps):
+                leg_indexes = indexes if mutation is None \
+                    else copy.deepcopy(indexes)
+                started = time.perf_counter()
+                report = run_loadtest(platform, leg_indexes, profile,
+                                      policy=policy, backend=backend,
+                                      mutation=mutation)
+                walls.append(time.perf_counter() - started)
+            doc = report.to_dict()
+            row = {
+                "write_rate": rate,
+                "achieved_qps": doc["achieved_qps"],
+                "p50_ms": doc["latency_ms"]["p50_ms"],
+                "p99_ms": doc["latency_ms"]["p99_ms"],
+                "served": doc["served"],
+                "sim_cycles": doc["sim_cycles"],
+                "wall_s": min(walls),
+                "wall_reps": walls,
+            }
+            if mutation is not None:
+                summary = doc["mutation"]
+                refits = sum(c["refits"]
+                             for c in summary["per_class"].values())
+                rebuilds = sum(c["rebuilds"]
+                               for c in summary["per_class"].values())
+                decays = [b["decay_ratio"] for b in summary["churn_curve"]
+                          if b["decay_ratio"] is not None]
+                row.update({
+                    "writes_applied": summary["writes_applied"],
+                    "refits": refits,
+                    "rebuilds": rebuilds,
+                    "decay_peak": max(decays) if decays else 1.0,
+                    "decay_final": decays[-1] if decays else 1.0,
+                })
+            rows[f"churn_{rate:g}"] = row
+            extra = "" if mutation is None else (
+                f", {row['writes_applied']:4d}w/"
+                f"{row['refits']}rf/{row['rebuilds']}rb, decay peak "
+                f"{row['decay_peak']:.3f} final {row['decay_final']:.3f}")
+            print(f"{platform:8s} churn {rate:5g}/s: p50 "
+                  f"{row['p50_ms']:.3f}ms, p99 {row['p99_ms']:.3f}ms, "
+                  f"wall {row['wall_s']:.2f}s{extra}", file=sys.stderr)
+        points[platform] = rows
+
+    return {
+        "profile": {"qps": qps, "duration_s": duration,
+                    "warmup_s": warmup, "seed": seed,
+                    "mix": dict(profile.mix)},
+        "policy": {"max_batch": policy.max_batch,
+                   "max_wait_s": policy.max_wait_s},
+        "mutation": {"write_rates": list(write_rates),
+                     "rebuild_policy": rebuild_policy,
+                     "refit_threshold": refit_threshold},
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_mutate.json"))
+    parser.add_argument("--scale", default="smoke",
+                        choices=sorted(SERVE_SCALES))
+    parser.add_argument("--platforms", default=DEFAULT_PLATFORMS)
+    parser.add_argument("--write-rates", default=DEFAULT_WRITE_RATES)
+    parser.add_argument("--qps", type=float, default=1000.0)
+    parser.add_argument("--duration", type=float, default=0.25)
+    parser.add_argument("--warmup", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--rebuild-policy", default="writes:64")
+    parser.add_argument("--refit-threshold", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    platforms = [p.strip() for p in args.platforms.split(",") if p.strip()]
+    rates = [float(r) for r in args.write_rates.split(",") if r.strip()]
+    doc = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "package_version": __version__,
+        "scheduler_fingerprint": scheduler_fingerprint(),
+        "python": platform_mod.python_version(),
+        "platform": platform_mod.platform(),
+        "scale": args.scale,
+        "reps": args.reps,
+    }
+    doc.update(bench(args.scale, platforms, rates, args.duration,
+                     args.warmup, args.qps, args.seed, args.reps,
+                     args.rebuild_policy, args.refit_threshold))
+    args.out.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"[bench_mutation] written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

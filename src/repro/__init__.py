@@ -9,6 +9,6 @@ Public entry points:
 * ``python -m repro`` — command-line experiment runner.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = ["__version__"]

@@ -290,6 +290,21 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--shards", type=int, default=1, metavar="N",
                           help="simulated devices a batch shards across "
                                "(default: 1)")
+    loadtest.add_argument("--write-mix", default=None,
+                          metavar="OP=RATE,...",
+                          help="interleave a write stream: per-op rates in "
+                               "writes/sec, e.g. insert=120,delete=60 "
+                               "(ops: insert, delete, update; default: "
+                               "read-only)")
+    loadtest.add_argument("--rebuild-policy", default="writes:256",
+                          metavar="MODE",
+                          help="rebuild-vs-refit policy under --write-mix: "
+                               "never | always | writes:N | quality:X "
+                               "(default: writes:256)")
+    loadtest.add_argument("--refit-threshold", type=int, default=64,
+                          metavar="N",
+                          help="writes between maintenance decisions "
+                               "under --write-mix (default: 64)")
     loadtest.add_argument("--out", "-o", type=pathlib.Path, default=None,
                           metavar="PATH",
                           help="write the full QPS-vs-latency curves as "
@@ -462,6 +477,25 @@ def _validate_serve_args(args):
                 f"{', '.join(negative)}")
     if sum(mix.values()) <= 0:
         return f"--mix weights sum to zero: {args.mix!r}"
+    write_mix = getattr(args, "write_mix", None)
+    if write_mix is not None:
+        from repro.mutation.stream import parse_write_mix
+
+        try:
+            parse_write_mix(write_mix)
+        except ConfigurationError as exc:
+            return f"bad --write-mix {write_mix!r}: {exc}"
+    rebuild_policy = getattr(args, "rebuild_policy", None)
+    if rebuild_policy is not None:
+        from repro.mutation.scheduler import parse_rebuild_policy
+
+        try:
+            parse_rebuild_policy(rebuild_policy)
+        except ConfigurationError as exc:
+            return f"bad --rebuild-policy {rebuild_policy!r}: {exc}"
+    refit_threshold = getattr(args, "refit_threshold", None)
+    if refit_threshold is not None and refit_threshold < 1:
+        return f"--refit-threshold must be >= 1, got {refit_threshold}"
     return None
 
 
@@ -1028,6 +1062,17 @@ def cmd_loadtest(args) -> int:
                           warmup_s=args.warmup, mix=mix,
                           arrival=args.arrival, burst_size=args.burst_size,
                           seed=args.seed)
+    mutation = None
+    if args.write_mix is not None:
+        from repro.mutation import MutationConfig, WriteProfile
+        from repro.mutation.scheduler import parse_rebuild_policy
+        from repro.mutation.stream import parse_write_mix
+
+        mutation = MutationConfig(
+            write=WriteProfile(mix=parse_write_mix(args.write_mix),
+                               seed=args.seed),
+            policy=parse_rebuild_policy(args.rebuild_policy),
+            refit_threshold=args.refit_threshold)
 
     def progress(platform, qps):
         print(f"[loadtest] {platform} @ {qps:g} qps ...", file=sys.stderr)
@@ -1035,7 +1080,7 @@ def cmd_loadtest(args) -> int:
     started = time.time()
     sweep = run_qps_sweep(platforms, qps_values, indexes, profile,
                           policy=_serve_policy(args), n_shards=args.shards,
-                          progress=progress)
+                          progress=progress, mutation=mutation)
 
     resilient = sweep["resilience_mode"] != "off"
     if args.json:
@@ -1059,6 +1104,22 @@ def cmd_loadtest(args) -> int:
                               row["resilience"]["shed"],
                               row["degraded_batches"])
         print(table.format())
+    if mutation is not None:
+        for platform in platforms:
+            for row in sweep["curves"][platform]:
+                m = row.get("mutation")
+                if not m:
+                    continue
+                decays = [b["decay_ratio"] for b in m["churn_curve"]
+                          if b.get("decay_ratio") is not None]
+                span = (f", decay peak {max(decays):.3f} "
+                        f"final {decays[-1]:.3f}") if decays else ""
+                detail = "; ".join(
+                    f"{cls}: {c['writes']}w/{c['refits']}rf/"
+                    f"{c['rebuilds']}rb"
+                    for cls, c in sorted(m["per_class"].items()))
+                print(f"[mutation] {platform} @ {row['qps']:g}qps — "
+                      f"{detail}{span}", file=sys.stderr)
     if resilient:
         for platform in platforms:
             for row in sweep["curves"][platform]:

@@ -132,6 +132,8 @@ class CampaignSpec:
             if kind not in KINDS:
                 raise ConfigurationError(
                     f"unknown workload kind {kind!r}; pick from {KINDS}")
+            if "churn" in entry:
+                _check_churn_axis(kind, entry["churn"])
         known = set()
         for kind in (e["kind"] for e in self.workloads):
             known.update(KIND_PLATFORMS[kind])
@@ -221,7 +223,15 @@ class CampaignSpec:
         for entry in self.workloads:
             kind = entry["kind"]
             valid = KIND_PLATFORMS[kind]
-            grid = _as_grid(dict(entry.get("params") or {}))
+            grid_params = dict(entry.get("params") or {})
+            if "churn" in entry:
+                # Churn is a workload axis like any grid parameter: a
+                # list of specs multiplies, and the value rides in the
+                # spec's workload params so the factory pre-churns the
+                # build (pre-churned builds are never persisted to the
+                # exec build cache — see repro.exec.cache.put_build).
+                grid_params["churn"] = entry["churn"]
+            grid = _as_grid(grid_params)
             for combo in grid:
                 for platform in self.platforms:
                     if platform not in valid:
@@ -258,6 +268,26 @@ class CampaignSpec:
                     f"expand to the same RunSpec; make an axis distinguish "
                     f"them or drop one")
         return points
+
+
+def _check_churn_axis(kind: str, churn: Any) -> None:
+    """Validate a workload entry's ``churn`` axis at spec-build time.
+
+    Only tree-serving kinds accept churn (their workload factories grew
+    the ``churn`` kwarg); each spec must parse as ``<mix>@<writes>``.
+    """
+    from repro.mutation import CHURN_KINDS
+    from repro.mutation.stream import parse_churn
+
+    if kind not in CHURN_KINDS:
+        raise ConfigurationError(
+            f"workload kind {kind!r} does not support the churn axis; "
+            f"churnable kinds: {sorted(CHURN_KINDS)}")
+    values = churn if isinstance(churn, (list, tuple)) else [churn]
+    for value in values:
+        if value is None:
+            continue   # explicit "no churn" cell in a churn sweep
+        parse_churn(value)
 
 
 def _config_label(config: Optional[Dict[str, Any]]):

@@ -309,7 +309,17 @@ class ResultCache:
         An unpicklable workload is a soft miss — the caller keeps its
         in-memory object and the next process rebuilds — never an
         error on the serving path.
+
+        A *mutated* workload is refused outright: ``build_key`` folds
+        construction parameters and the dataset fingerprint only, so an
+        entry must always be the pristine epoch-0 build those inputs
+        deterministically produce.  Writing a churned tree under that
+        key would resurrect the mutations into every later process —
+        the cache-staleness bug the mutation-epoch version exists to
+        prevent (``tests/test_mutation.py`` proves the refusal).
         """
+        if self._mutation_epoch(workload) != 0:
+            return False
         pkl, meta = self._build_paths(key)
         try:
             with self._deep_pickle():
@@ -329,6 +339,21 @@ class ResultCache:
             sidecar["seconds"] = seconds
         self._atomic_write(meta, json.dumps(sidecar, indent=1).encode())
         return True
+
+    @staticmethod
+    def _mutation_epoch(workload: Any) -> int:
+        """The workload's mutation epoch, looking through to its tree.
+
+        Workloads built before the mutation layer (or plain test stubs)
+        carry neither attribute and read as epoch 0 — cacheable, as
+        before.
+        """
+        epoch = getattr(workload, "mutation_epoch", 0) or 0
+        for attr in ("tree", "bvh"):
+            tree = getattr(workload, attr, None)
+            if tree is not None:
+                epoch = max(epoch, getattr(tree, "mutation_epoch", 0) or 0)
+        return epoch
 
     def _quarantine_build(self, key: str) -> None:
         corrupt_dir = self.base / "corrupt"

@@ -9,19 +9,24 @@ line already in flight piggybacks on the first fill and generates no
 extra DRAM traffic.
 """
 
-from typing import Dict, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
-from repro.gpu.config import GPUConfig
 from repro.memsys.cache import Cache
 from repro.memsys.coalescer import coalesce_sectors
 from repro.sim.engine import Simulator
 from repro.sim.resources import ThroughputResource
 
+if TYPE_CHECKING:
+    # Import-time would close the memsys <-> gpu cycle: gpu.sm imports
+    # this module for its own annotations.  GPUConfig is annotation-only
+    # here, so keep the runtime import graph acyclic.
+    from repro.gpu.config import GPUConfig
+
 
 class MemoryHierarchy:
     """Shared L2 + DRAM; per-SM L1s are created via :meth:`make_l1`."""
 
-    def __init__(self, sim: Simulator, config: GPUConfig):
+    def __init__(self, sim: Simulator, config: "GPUConfig"):
         self.sim = sim
         self.config = config
         self.l2 = Cache("L2", config.l2_size, config.l2_assoc, config.line_size)

@@ -1,0 +1,91 @@
+"""repro.mutation — mutable resident indexes under mixed read/write load.
+
+The serving layer (:mod:`repro.serve`) holds each tree warm and
+immutable; this package makes them *mutable under live traffic*:
+
+* :mod:`repro.mutation.stream` — seeded deterministic write streams
+  (``--write-mix``), one virtual timeline with the read load;
+* :mod:`repro.mutation.mutators` — per-flavor online mutation drivers
+  that keep the workload's golden oracle consistent with the tree;
+* :mod:`repro.mutation.quality` — SAH cost, overlap, fill factor and
+  depth skew: how far churn has pushed a tree from a fresh build;
+* :mod:`repro.mutation.scheduler` — the rebuild-vs-refit policy and the
+  cycle-domain cost model for writes, refits, and rebuilds;
+* :mod:`repro.mutation.mutable_index` — epoch-swapped installs, memory
+  image refresh, and the staleness contract with the exec caches.
+
+Semantics live in MODEL.md §14.  Entry point: ``repro loadtest
+--write-mix``; campaigns pre-churn builds via the ``churn`` axis.
+"""
+
+from repro.mutation.mutable_index import (
+    MutableResidentIndex,
+    MutationConfig,
+    refresh_workload_image,
+)
+from repro.mutation.mutators import (
+    BTreeMutator,
+    BVHMutator,
+    KDTreeMutator,
+    Mutator,
+    RTreeMutator,
+    make_mutator,
+)
+from repro.mutation.quality import (
+    QUALITY_KEYS,
+    btree_quality,
+    bvh_quality,
+    kdtree_quality,
+    rtree_quality,
+)
+from repro.mutation.scheduler import (
+    REBUILD_MODES,
+    RebuildPolicy,
+    parse_rebuild_policy,
+    rebuild_cycles,
+    refit_cycles,
+    write_cycles,
+)
+from repro.mutation.stream import (
+    WRITE_OPS,
+    WriteEvent,
+    WriteProfile,
+    generate_write_events,
+    parse_churn,
+    parse_write_mix,
+    write_stream_signature,
+)
+
+
+def apply_churn(workload, query_class: str, churn: str, seed: int = 0):
+    """Pre-churn a freshly built workload (the campaign ``churn`` axis).
+
+    ``churn`` is ``<mix>@<writes>`` (see :func:`parse_churn`); writes
+    are drawn by mix weight from one seeded rng, applied through the
+    flavor's mutator, then the tree is refit and the memory image
+    refreshed so the workload is launch-ready.  Returns the mutator
+    (tests use its live set and oracle builders).
+    """
+    import random
+
+    mix, n_writes = parse_churn(churn)
+    ops = [op for op in WRITE_OPS if mix.get(op, 0) > 0]
+    weights = [mix[op] for op in ops]
+    rng = random.Random(seed)
+    mutator = make_mutator(query_class, workload)
+    for _ in range(n_writes):
+        op = rng.choices(ops, weights=weights)[0]
+        mutator.apply(op, rng)
+    mutator.refit()
+    refresh_workload_image(query_class, workload)
+    return mutator
+
+
+#: workload kind (exec KINDS member) -> serve query class, for the
+#: campaign churn axis validation and application.
+CHURN_KINDS = {
+    "btree": "point",
+    "rtree": "range",
+    "knn": "knn",
+    "rtnn": "radius",
+}

@@ -1,0 +1,113 @@
+"""Rebuild-vs-refit scheduling and the mutation cost model.
+
+Maintenance is charged in *cycles on the simulated device* (the same
+clock domain every launch uses), then mapped onto the service timeline
+by :class:`repro.serve.clock.ServiceClock` — never wall time, so
+loadtests stay deterministic.  The constants are per-node/per-item
+costs in Table II core cycles, sized so that maintenance is visible
+next to query launches without dwarfing them: a refit touches each node
+once (bounds load + union + store), a rebuild pays a sort-like
+``n log n`` over the live items.
+
+``RebuildPolicy`` decides, at each maintenance point (every
+``refit_threshold`` writes), whether to refit in place or schedule a
+full rebuild:
+
+``never``      refit only — quality decays without bound.
+``always``     rebuild at every maintenance point.
+``writes:N``   rebuild once N writes have accumulated since the last
+               rebuild, refit otherwise (the classic RT-pipeline
+               heuristic).
+``quality:X``  rebuild when the tree's decay score exceeds X times its
+               fresh-build baseline, refit otherwise.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Cycles charged per node touched by one write (descent + bound union).
+WRITE_CYCLES_PER_NODE = 24.0
+
+#: Cycles per node for a bottom-up refit sweep.
+REFIT_CYCLES_PER_NODE = 12.0
+
+#: Cycles per item per log2(n) level for a full bulk rebuild.
+REBUILD_CYCLES_PER_ITEM = 64.0
+
+REBUILD_MODES = ("never", "always", "writes", "quality")
+
+
+@dataclass(frozen=True)
+class RebuildPolicy:
+    """When maintenance should escalate from refit to rebuild."""
+
+    mode: str = "writes"
+    write_threshold: int = 256
+    quality_threshold: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in REBUILD_MODES:
+            raise ConfigurationError(
+                f"rebuild mode must be one of {REBUILD_MODES}, "
+                f"got {self.mode!r}")
+        if self.write_threshold < 1:
+            raise ConfigurationError("rebuild write threshold must be >= 1")
+        if self.quality_threshold <= 0:
+            raise ConfigurationError("quality threshold must be positive")
+
+    def wants_rebuild(self, writes_since_rebuild: int,
+                      decay_ratio: float) -> bool:
+        """The scheduling decision at one maintenance point."""
+        if self.mode == "never":
+            return False
+        if self.mode == "always":
+            return True
+        if self.mode == "writes":
+            return writes_since_rebuild >= self.write_threshold
+        return decay_ratio >= self.quality_threshold
+
+    def describe(self) -> str:
+        if self.mode == "writes":
+            return f"writes:{self.write_threshold}"
+        if self.mode == "quality":
+            return f"quality:{self.quality_threshold:g}"
+        return self.mode
+
+
+def parse_rebuild_policy(text: str) -> RebuildPolicy:
+    """Parse ``never`` | ``always`` | ``writes:N`` | ``quality:X``."""
+    mode, sep, arg = text.partition(":")
+    if mode in ("never", "always"):
+        if sep:
+            raise ConfigurationError(
+                f"rebuild mode {mode!r} takes no argument")
+        return RebuildPolicy(mode=mode)
+    if mode == "writes":
+        try:
+            n = int(arg) if sep else RebuildPolicy.write_threshold
+        except ValueError:
+            raise ConfigurationError(f"bad write threshold {arg!r}")
+        return RebuildPolicy(mode="writes", write_threshold=n)
+    if mode == "quality":
+        try:
+            x = float(arg) if sep else RebuildPolicy.quality_threshold
+        except ValueError:
+            raise ConfigurationError(f"bad quality threshold {arg!r}")
+        return RebuildPolicy(mode="quality", quality_threshold=x)
+    raise ConfigurationError(
+        f"rebuild mode must be one of {REBUILD_MODES}, got {mode!r}")
+
+
+def write_cycles(nodes_touched: int) -> float:
+    return nodes_touched * WRITE_CYCLES_PER_NODE
+
+
+def refit_cycles(nodes_touched: int) -> float:
+    return nodes_touched * REFIT_CYCLES_PER_NODE
+
+
+def rebuild_cycles(n_items: int) -> float:
+    n = max(1, n_items)
+    return n * max(1.0, math.log2(n)) * REBUILD_CYCLES_PER_ITEM

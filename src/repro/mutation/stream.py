@@ -1,0 +1,172 @@
+"""Seeded write-stream generation for mutable resident indexes.
+
+Mirrors :mod:`repro.serve.loadgen`: a frozen profile plus one
+``random.Random`` seeded from it yields a deterministic open-loop event
+stream, so the same seed always produces the same interleaving of
+writes with the read load — loadtest reports are replayable
+byte-for-byte.  Write events ride the same virtual-time heap as query
+arrivals; nothing here reads a wall clock.
+
+The ``--write-mix`` syntax gives each op an absolute *rate* in writes
+per second (``insert=120,delete=60,update=20``), not a relative weight:
+churn intensity and composition are one knob, and the offered write
+throughput is legible straight off the CLI.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serve.loadgen import LoadProfile
+
+#: The op vocabulary, canonical order.
+WRITE_OPS = ("insert", "delete", "update")
+
+#: Rate (writes/second) assumed for a bare op name in a mix string.
+DEFAULT_OP_RATE = 50.0
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One write in virtual time against one resident index."""
+
+    t: float             # seconds on the service timeline
+    query_class: str     # which resident index the write targets
+    op: str              # insert | delete | update
+    seq: int             # stream position, tie-breaker in event heaps
+    measured: bool       # False during warmup
+
+
+@dataclass(frozen=True)
+class WriteProfile:
+    """An open-loop write stream: per-op rates plus a seed.
+
+    ``mix`` maps op name to writes/second; the total write rate is the
+    sum.  The stream shares the read profile's duration/warmup so one
+    virtual timeline covers both.
+    """
+
+    mix: Dict[str, float] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ConfigurationError("write profile needs at least one op")
+        for op, rate in self.mix.items():
+            if op not in WRITE_OPS:
+                raise ConfigurationError(
+                    f"unknown write op {op!r}; choose from {WRITE_OPS}")
+            if rate < 0:
+                raise ConfigurationError(
+                    f"write rate for {op!r} cannot be negative, got {rate}")
+        if self.wps <= 0:
+            raise ConfigurationError("total write rate must be positive")
+
+    @property
+    def wps(self) -> float:
+        """Total offered write throughput, writes/second."""
+        return sum(self.mix.values())
+
+    def ops(self) -> Tuple[str, ...]:
+        """Ops with nonzero rate, canonical order."""
+        return tuple(op for op in WRITE_OPS if self.mix.get(op, 0) > 0)
+
+
+def parse_write_mix(text: str) -> Dict[str, float]:
+    """Parse ``insert=120,delete=60`` into an op->rate dict.
+
+    A bare op name gets :data:`DEFAULT_OP_RATE`.  Raises
+    :class:`ConfigurationError` on unknown ops, bad numbers, or
+    duplicates — the CLI surfaces these as exit-2 usage errors.
+    """
+    mix: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            op, _, rate_text = part.partition("=")
+            op = op.strip()
+            try:
+                rate = float(rate_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad write rate {rate_text!r} for op {op!r}")
+        else:
+            op, rate = part, DEFAULT_OP_RATE
+        if op not in WRITE_OPS:
+            raise ConfigurationError(
+                f"unknown write op {op!r}; choose from {WRITE_OPS}")
+        if rate < 0:
+            raise ConfigurationError(
+                f"write rate for {op!r} cannot be negative, got {rate:g}")
+        if op in mix:
+            raise ConfigurationError(f"duplicate write op {op!r} in mix")
+        mix[op] = rate
+    if not mix:
+        raise ConfigurationError("empty write mix")
+    return mix
+
+
+def generate_write_events(profile: LoadProfile, write: WriteProfile,
+                          classes: Sequence[str]) -> List[WriteEvent]:
+    """The full write stream for one loadtest, sorted by time.
+
+    Arrivals are Poisson at the profile's total write rate over
+    ``warmup + duration``; each event draws its op by rate weight and
+    its target class uniformly from ``classes``.  One ``random.Random``
+    seeded from the write profile makes the stream a pure function of
+    ``(profile, write, classes)``.
+    """
+    if not classes:
+        raise ConfigurationError("write stream needs at least one class")
+    rng = random.Random(write.seed)
+    total_s = profile.warmup_s + profile.duration_s
+    ops = list(write.ops())
+    weights = [write.mix[op] for op in ops]
+    events: List[WriteEvent] = []
+    t, seq = 0.0, 0
+    wps = write.wps
+    while True:
+        t += rng.expovariate(wps)
+        if t >= total_s:
+            break
+        op = rng.choices(ops, weights=weights)[0]
+        cls = classes[rng.randrange(len(classes))]
+        events.append(WriteEvent(t=t, query_class=cls, op=op, seq=seq,
+                                 measured=t >= profile.warmup_s))
+        seq += 1
+    return events
+
+
+def write_stream_signature(events: Sequence[WriteEvent]) -> Tuple:
+    """Cheap fingerprint for determinism tests."""
+    n = len(events)
+    return (
+        n,
+        tuple(round(e.t, 9) for e in events[:8]),
+        tuple((e.op, e.query_class) for e in events[:8]),
+        round(sum(e.t for e in events), 6),
+    )
+
+
+def parse_churn(text: str) -> Tuple[Dict[str, float], int]:
+    """Parse a campaign churn spec ``<mix>@<writes>``.
+
+    Example: ``insert=2,delete=1@200`` — 200 pre-serving writes drawn
+    with insert twice as likely as delete.  The mix side reuses the
+    ``--write-mix`` grammar (rates become relative weights here; there
+    is no time axis before serving starts).
+    """
+    mix_text, sep, count_text = text.partition("@")
+    if not sep:
+        raise ConfigurationError(
+            f"churn spec needs '<mix>@<writes>', got {text!r}")
+    try:
+        n_writes = int(count_text)
+    except ValueError:
+        raise ConfigurationError(f"bad churn write count {count_text!r}")
+    if n_writes < 1:
+        raise ConfigurationError("churn write count must be >= 1")
+    return parse_write_mix(mix_text), n_writes

@@ -41,7 +41,7 @@ inside a small failure-handling stack, outside-in:
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (BackendLaunchError, ConfigurationError,
                           GuardError, InvariantViolation)
@@ -122,7 +122,7 @@ class LaunchBackend:
                                       self.resilience.breaker_cooldown_s)
         self._factory = _accelerator_factory(platform)
         self._explicit_config = config
-        self._configs: Dict[int, GPUConfig] = {}
+        self._configs: Dict[Tuple[int, int], GPUConfig] = {}
         self.launches = 0
         self.degraded = 0
         self.degraded_reasons: Dict[str, int] = {}
@@ -133,16 +133,18 @@ class LaunchBackend:
     # -- config ----------------------------------------------------------------
     def config_for(self, index: ResidentIndex) -> GPUConfig:
         """The same scaled-cache policy the one-shot runners default to,
-        derived once per resident index (the tree footprint is fixed
-        for the index's lifetime)."""
+        derived once per resident index *per mutation epoch* — a
+        mutated index re-places its image, so the tree footprint (and
+        with it the scaled cache size) can change under write load."""
         if self._explicit_config is not None:
             return self._explicit_config
-        config = self._configs.get(id(index))
+        key = (id(index), getattr(index, "mutation_epoch", 0))
+        config = self._configs.get(key)
         if config is None:
             from repro.harness.runner import scaled_config_for
 
             config = scaled_config_for(index.workload.image.size_bytes)
-            self._configs[id(index)] = config
+            self._configs[key] = config
         return config
 
     # -- launching ---------------------------------------------------------------

@@ -26,9 +26,11 @@ kernel time all included, which is exactly what an open-loop load test
 is supposed to surface (MODEL.md §10).
 """
 
+import copy
 import heapq
+import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs import MetricsRegistry, MetricsSnapshot
@@ -40,8 +42,14 @@ from repro.serve.loadgen import LoadProfile, generate_arrivals
 from repro.serve.resilience import (EwmaEstimator, ResilienceConfig,
                                     default_config, slo_summary)
 
+if TYPE_CHECKING:
+    from repro.mutation import MutationConfig
+
 #: Percentiles every report carries.
 REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Time buckets in the ``--write-mix`` churn curve.
+CHURN_CURVE_BUCKETS = 12
 
 
 def percentile(samples: Sequence[float], pct: float) -> float:
@@ -104,6 +112,10 @@ class LoadtestReport:
     breaker_opens: int = 0        # circuit-breaker open transitions
     corrupt_results: int = 0      # integrity violations detected
     degraded_reasons: Dict[str, int] = field(default_factory=dict)
+    # -- mutation accounting; None unless a write stream ran, in which
+    # case to_dict() grows a "mutation" block (a read-only loadtest's
+    # report stays byte-identical to the pre-mutation stack).
+    mutation_summary: Optional[Dict[str, Any]] = None
 
     @property
     def offered_qps(self) -> float:
@@ -139,7 +151,7 @@ class LoadtestReport:
         overall: Dict[str, Any] = {}
         for pct in REPORT_PERCENTILES:
             overall[f"p{pct:g}_ms"] = percentile(ordered, pct)
-        return {
+        out = {
             "platform": self.platform,
             "qps": self.profile.qps,
             "arrival": self.profile.arrival,
@@ -176,6 +188,9 @@ class LoadtestReport:
             },
             "slo": self.slo(),
         }
+        if self.mutation_summary is not None:
+            out["mutation"] = self.mutation_summary
+        return out
 
 
 class _Devices:
@@ -244,7 +259,8 @@ def run_loadtest(platform: str,
                  backend: Optional[LaunchBackend] = None,
                  guard=None,
                  tracer=None,
-                 resilience: Optional[ResilienceConfig] = None
+                 resilience: Optional[ResilienceConfig] = None,
+                 mutation: Optional["MutationConfig"] = None
                  ) -> LoadtestReport:
     """Replay one open-loop profile against ``indexes`` on ``platform``.
 
@@ -255,6 +271,15 @@ def run_loadtest(platform: str,
     (:mod:`repro.serve.resilience`; default ``$REPRO_RESILIENCE``, i.e.
     ``off``, under which the loadtest is stat-for-stat identical to the
     pre-resilience stack).
+
+    ``mutation`` (a :class:`repro.mutation.MutationConfig`) interleaves
+    a seeded write stream with the read load: writes mutate the
+    resident trees in place, maintenance (refit / epoch-swapped
+    rebuild) is charged on the serving devices in virtual time, and the
+    report grows a ``mutation`` block with per-class counters, quality
+    metrics, and a latency-vs-churn curve.  ``None`` (the default)
+    constructs no mutation machinery at all.  Note the write stream
+    mutates the caller's ``indexes``.
     """
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
@@ -304,11 +329,41 @@ def run_loadtest(platform: str,
     corrupt_before = getattr(backend, "corrupt_detected", 0)
     opens_before = breaker.opens if breaker is not None else 0
 
+    mutables = None
+    write_rng = None
+    curve_buckets = None
+    if mutation is not None:
+        from repro.mutation import (MutableResidentIndex,
+                                    generate_write_events)
+        mutables = {
+            cls: MutableResidentIndex(
+                indexes[cls], policy=mutation.policy,
+                refit_threshold=mutation.refit_threshold, clock=clock,
+                registry=registry, tracer=tracer, platform=platform)
+            for cls in profile.classes()}
+        write_events = generate_write_events(profile, mutation.write,
+                                             profile.classes())
+        write_rng = random.Random(mutation.write.seed + 0x5EED)
+        total_s = profile.warmup_s + profile.duration_s
+        bucket_w = total_s / CHURN_CURVE_BUCKETS
+        curve_buckets = [
+            {"t0": i * bucket_w, "t1": (i + 1) * bucket_w, "writes": 0,
+             "served": 0, "lat": [], "decay": []}
+            for i in range(CHURN_CURVE_BUCKETS)]
+
+    def bucket_at(t: float) -> Dict[str, Any]:
+        i = min(CHURN_CURVE_BUCKETS - 1, int(t / bucket_w))
+        return curve_buckets[i]
+
     events: List[tuple] = []
     seq = 0
     for arrival in arrivals:
         events.append((arrival.t, seq, "arrival", arrival))
         seq += 1
+    if mutables is not None:
+        for write_event in write_events:
+            events.append((write_event.t, seq, "write", write_event))
+            seq += 1
     heapq.heapify(events)
 
     def note(name: str, delta: float = 1.0) -> None:
@@ -376,6 +431,10 @@ def run_loadtest(platform: str,
 
     def dispatch(batch: Batch) -> None:
         index = indexes[batch.query_class]
+        if mutables is not None:
+            # Install any finished rebuild and refresh the image so the
+            # whole batch lowers against one consistent tree epoch.
+            mutables[batch.query_class].ensure_ready(batch.t_close)
         queries = batch.queries
         if resilience.sheds:
             # Expire queries whose deadline already passed while they
@@ -474,6 +533,10 @@ def run_loadtest(platform: str,
                 cls_report.served += 1
                 cls_report.latencies_ms.append(latency_ms)
                 registry.histogram("serve.latency_ms").observe(latency_ms)
+                if curve_buckets is not None:
+                    bucket = bucket_at(t_done)
+                    bucket["served"] += 1
+                    bucket["lat"].append(latency_ms)
 
     while events:
         t, _, kind, payload = heapq.heappop(events)
@@ -513,6 +576,24 @@ def run_loadtest(platform: str,
                 heapq.heappush(events, (timeout, seq, "deadline",
                                         (payload.query_class, generation)))
                 seq += 1
+        elif kind == "write":
+            # One write: mutate the tree, charge the cycle cost on the
+            # serving devices — maintenance competes with launches for
+            # device time, which is what bends the latency curve.
+            mut = mutables[payload.query_class]
+            cycles = mut.apply(payload, write_rng)
+            duration = clock.seconds(cycles)
+            devices.assign(t, duration)
+            report.sim_cycles += cycles
+            bucket = bucket_at(t)
+            bucket["writes"] += 1
+            if bucket["writes"] % 16 == 1:
+                bucket["decay"].append(mut.decay_ratio())
+            if tracer is not None:
+                tracer.emit("mutation", platform, "write",
+                            clock.cycles(t), cycles,
+                            {"class": payload.query_class,
+                             "op": payload.op})
         else:  # deadline (stale ones no-op via the generation token)
             cls, generation = payload
             closed = batcher.expire(cls, t, generation)
@@ -545,6 +626,47 @@ def run_loadtest(platform: str,
                      report.corrupt_results)
         registry.set("serve.resilience.goodput_qps",
                      report.slo()["goodput_qps"])
+    if mutables is not None:
+        from repro.mutation import QUALITY_KEYS
+
+        curve = []
+        for bucket in curve_buckets:
+            ordered = sorted(bucket["lat"])
+            decays = bucket["decay"]
+            curve.append({
+                "t0": round(bucket["t0"], 6),
+                "t1": round(bucket["t1"], 6),
+                "writes": bucket["writes"],
+                "served": bucket["served"],
+                "p50_ms": percentile(ordered, 50.0),
+                "p99_ms": percentile(ordered, 99.0),
+                "decay_ratio": (round(sum(decays) / len(decays), 6)
+                                if decays else None),
+            })
+        per_class: Dict[str, Any] = {}
+        for cls, mut in sorted(mutables.items()):
+            quality = mut.quality()
+            for key in QUALITY_KEYS:
+                registry.set(f"mutation.{cls}.{key}", quality[key])
+            registry.set(f"mutation.{cls}.decay_ratio", mut.decay_ratio())
+            summary = mut.counters()
+            summary["quality"] = {key: round(quality[key], 6)
+                                  for key in QUALITY_KEYS}
+            summary["maintenance"] = [
+                {key: (round(value, 6) if isinstance(value, float)
+                       else value) for key, value in event.items()}
+                for event in mut.maintenance_events]
+            per_class[cls] = summary
+        report.mutation_summary = {
+            "write_mix": dict(sorted(mutation.write.mix.items())),
+            "write_seed": mutation.write.seed,
+            "wps": mutation.write.wps,
+            "writes_applied": sum(m.writes for m in mutables.values()),
+            "refit_threshold": mutation.refit_threshold,
+            "rebuild_policy": mutation.policy.describe(),
+            "per_class": per_class,
+            "churn_curve": curve,
+        }
     report.metrics = registry.snapshot()
     return report
 
@@ -558,7 +680,8 @@ def run_qps_sweep(platforms: Sequence[str],
                   n_shards: int = 1,
                   guard=None,
                   progress=None,
-                  resilience: Optional[ResilienceConfig] = None
+                  resilience: Optional[ResilienceConfig] = None,
+                  mutation: Optional["MutationConfig"] = None
                   ) -> Dict[str, Any]:
     """QPS-vs-latency curves: one loadtest per (platform, qps) point.
 
@@ -566,6 +689,10 @@ def run_qps_sweep(platforms: Sequence[str],
     whole point — and each platform keeps one backend so its per-index
     scaled config is derived once.  Returns the ``repro loadtest`` JSON
     shape: ``{"curves": {platform: [point, ...]}, ...}``.
+
+    With ``mutation`` set, every (platform, qps) leg runs against a
+    deep copy of the pristine indexes: writes mutate state, and the
+    curves are only comparable if each leg starts from the same tree.
     """
     if resilience is None:
         resilience = default_config()
@@ -577,13 +704,16 @@ def run_qps_sweep(platforms: Sequence[str],
         for qps in qps_values:
             if progress is not None:
                 progress(platform, qps)
+            leg_indexes = indexes if mutation is None \
+                else copy.deepcopy(indexes)
             report = run_loadtest(
-                platform, indexes, replace(profile, qps=qps),
+                platform, leg_indexes, replace(profile, qps=qps),
                 policy=policy, clock=clock, n_shards=n_shards,
-                backend=backend, guard=guard, resilience=resilience)
+                backend=backend, guard=guard, resilience=resilience,
+                mutation=mutation)
             rows.append(report.to_dict())
         curves[platform] = rows
-    return {
+    out = {
         "profile": {
             "arrival": profile.arrival,
             "duration_s": profile.duration_s,
@@ -602,3 +732,11 @@ def run_qps_sweep(platforms: Sequence[str],
         "qps_values": list(qps_values),
         "curves": curves,
     }
+    if mutation is not None:
+        out["mutation"] = {
+            "write_mix": dict(sorted(mutation.write.mix.items())),
+            "write_seed": mutation.write.seed,
+            "rebuild_policy": mutation.policy.describe(),
+            "refit_threshold": mutation.refit_threshold,
+        }
+    return out

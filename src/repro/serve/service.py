@@ -23,9 +23,10 @@ for operational visibility, not for the paper's figures.
 """
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import (BackendLaunchError, ConfigurationError,
                           DeadlineExceededError, OverloadShedError)
@@ -34,6 +35,9 @@ from repro.serve.batcher import BatchPolicy
 from repro.serve.clock import DEFAULT_CLOCK, ServiceClock
 from repro.serve.index import ResidentIndex
 from repro.serve.resilience import ResilienceConfig, default_config
+
+if TYPE_CHECKING:
+    from repro.mutation import MutationConfig
 
 _CLOSE = object()   # queue sentinel: collector drains and exits
 
@@ -72,7 +76,8 @@ class ServeService:
                  clock: ServiceClock = DEFAULT_CLOCK,
                  guard=None,
                  backend: Optional[LaunchBackend] = None,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 mutation: Optional["MutationConfig"] = None):
         if not indexes:
             raise ConfigurationError("ServeService needs >= 1 index")
         self.indexes = dict(indexes)
@@ -98,6 +103,22 @@ class ServeService:
         self.queries_shed = 0
         self.queries_expired = 0
         self.queries_failed = 0
+        # -- optional write path (repro.mutation); None = read-only
+        # service, stats() and dispatch unchanged.
+        self.mutables = None
+        self._write_rng: Optional[random.Random] = None
+        self._write_seq = 0
+        self._mutation_lock: Optional[asyncio.Lock] = None
+        if mutation is not None:
+            from repro.mutation import MutableResidentIndex
+
+            self.mutables = {
+                cls: MutableResidentIndex(
+                    index, policy=mutation.policy,
+                    refit_threshold=mutation.refit_threshold, clock=clock)
+                for cls, index in self.indexes.items()}
+            self._write_rng = random.Random(mutation.write.seed + 0x5EED)
+            self._mutation_lock = asyncio.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> None:
@@ -168,6 +189,43 @@ class ServeService:
             _Pending(query_class, qid, payload, future, deadline=deadline))
         return await future
 
+    # -- the write API -----------------------------------------------------------
+    async def write(self, query_class: str, op: str = "insert") -> Dict[str, Any]:
+        """Apply one live write to a class's resident index.
+
+        Only available when the service was constructed with a
+        ``mutation`` config; writes are serialized with batch launches
+        so a kernel never walks a tree mid-mutation.  Returns the
+        effective op (floor degradation may turn a delete into an
+        insert) and the class's mutation counters.
+        """
+        from repro.mutation.stream import WRITE_OPS, WriteEvent
+
+        if self.mutables is None:
+            raise ConfigurationError(
+                "service is read-only (no mutation config); "
+                "writes are not accepted")
+        if query_class not in self.mutables:
+            raise ConfigurationError(
+                f"no resident index for query class {query_class!r}; "
+                f"serving: {sorted(self.indexes)}")
+        if op not in WRITE_OPS:
+            raise ConfigurationError(
+                f"unknown write op {op!r}; expected one of {WRITE_OPS}")
+        mutable = self.mutables[query_class]
+        async with self._mutation_lock:
+            self._write_seq += 1
+            event = WriteEvent(t=time.monotonic(), query_class=query_class,
+                               op=op, seq=self._write_seq, measured=True)
+            cycles = mutable.apply(event, self._write_rng)
+        return {
+            "query_class": query_class,
+            "op": op,
+            "cycles": cycles,
+            "sim_seconds": self.clock.seconds(cycles),
+            "counters": mutable.counters(),
+        }
+
     # -- batching ----------------------------------------------------------------
     async def _collect(self, cls: str, queue: asyncio.Queue) -> None:
         closing = False
@@ -213,8 +271,17 @@ class ServeService:
                 return
         loop = asyncio.get_running_loop()
         try:
-            launch = await loop.run_in_executor(
-                None, self._launch_sync, index, batch)
+            if self.mutables is not None:
+                # Serialize with the write path: install any finished
+                # rebuild, refresh the image, and hold writes off until
+                # the launch returns.
+                async with self._mutation_lock:
+                    self.mutables[cls].ensure_ready(time.monotonic())
+                    launch = await loop.run_in_executor(
+                        None, self._launch_sync, index, batch)
+            else:
+                launch = await loop.run_in_executor(
+                    None, self._launch_sync, index, batch)
         except Exception as exc:  # noqa: BLE001 — fail the batch, not the loop
             for pending in batch:
                 if not pending.future.done():
@@ -256,7 +323,7 @@ class ServeService:
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        return {
+        out = {
             "platform": self.platform,
             "classes": sorted(self.indexes),
             "queries_served": self.queries_served,
@@ -277,3 +344,7 @@ class ServeService:
                 "corrupt_results": self.backend.corrupt_detected,
             },
         }
+        if self.mutables is not None:
+            out["mutation"] = {cls: mutable.counters()
+                               for cls, mutable in sorted(self.mutables.items())}
+        return out

@@ -52,6 +52,39 @@ class BTreeNode:
     def is_leaf(self) -> bool:
         return not self.children
 
+    def __deepcopy__(self, memo):
+        # The leaf chain (``next``) is a linked list as long as the
+        # leaf count; the default recursive deepcopy overflows the
+        # stack on any non-toy tree.  Copy the reachable node graph
+        # iteratively, registering every twin in ``memo`` so outer
+        # structures (trees, trace caches) alias consistently.
+        twin = memo.get(id(self))
+        if twin is not None:
+            return twin
+        import copy as _copy
+
+        frontier, originals, seen = [self], [], set()
+        while frontier:
+            node = frontier.pop()
+            if id(node) in seen or id(node) in memo:
+                continue
+            seen.add(id(node))
+            originals.append(node)
+            frontier.extend(node.children)
+            if node.next is not None:
+                frontier.append(node.next)
+        for node in originals:
+            clone = BTreeNode(keys=list(node.keys),
+                              values=_copy.deepcopy(list(node.values), memo))
+            clone.address = node.address
+            memo[id(node)] = clone
+        for node in originals:
+            clone = memo[id(node)]
+            clone.children = [memo[id(child)] for child in node.children]
+            if node.next is not None:
+                clone.next = memo[id(node.next)]
+        return memo[id(self)]
+
     def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else "inner"
         return f"BTreeNode({kind}, keys={self.keys[:4]}{'...' if len(self.keys) > 4 else ''})"
@@ -83,6 +116,9 @@ class _BTreeBase:
         # Search traces are pure while the tree is unchanged; runners
         # replay the same query stream many times.  Mutations clear it.
         self._trace_cache: dict = {}
+        #: bumped by every mutating operation; derived views (memory
+        #: images, lowered jobs) key their validity on it.
+        self.mutation_epoch = 0
 
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:
@@ -165,6 +201,7 @@ class _BTreeBase:
         leaf.values.insert(idx, value if value is not None else key)
         self._count += 1
         self._repair_upward(path + [leaf])
+        self.mutation_epoch = getattr(self, "mutation_epoch", 0) + 1
 
     def _descend_to_leaf(self, key: int) -> Tuple[BTreeNode, List[BTreeNode]]:
         path: List[BTreeNode] = []
@@ -278,6 +315,7 @@ class _BTreeBase:
         # Collapse trivial roots (and empty-leaf roots stay as-is).
         while not self.root.is_leaf and len(self.root.children) == 1:
             self.root = self.root.children[0]
+        self.mutation_epoch = getattr(self, "mutation_epoch", 0) + 1
 
     def _fix_underflow(self, node: BTreeNode, parent: BTreeNode) -> None:
         idx = parent.children.index(node)

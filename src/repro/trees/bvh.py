@@ -148,6 +148,10 @@ class BVH:
         self.root = self._build(0, len(self.primitives), method)
         self.node_count = self._count_nodes(self.root)
         self._soa: Optional[BVHArrays] = None
+        #: bumped by every mutating operation; derived views (the SoA
+        #: arrays, memory images, lowered jobs) key their validity on it.
+        self.mutation_epoch = 0
+        self._soa_epoch = 0
 
     # -- construction ---------------------------------------------------------
     def _range_bounds(self, first: int, count: int) -> AABB:
@@ -210,18 +214,158 @@ class BVH:
             return 1
         return 1 + self._count_nodes(node.left) + self._count_nodes(node.right)
 
+    # -- online mutation --------------------------------------------------------
+    #
+    # The mutation paths keep results *exact* while letting quality
+    # decay: bounds only ever grow (inserts union the path, deletes and
+    # moves leave the old extents in place), so a conservative AABB can
+    # cost extra visits but never miss a hit.  ``refit`` restores exact
+    # bounds without restructuring; a full rebuild restores quality.
+
+    def _invalidate(self) -> None:
+        self.mutation_epoch = getattr(self, "mutation_epoch", 0) + 1
+        self._soa = None
+
+    def insert(self, prim) -> int:
+        """Online insert: descend by least bound growth, append at a leaf.
+
+        The leaf's primitive slice grows past ``max_leaf_size`` rather
+        than splitting — exactly the decay mode per-frame RT pipelines
+        accept between rebuilds.  Returns the number of nodes touched
+        (the descent path), which the mutation cost model charges.
+        """
+        bounds = prim.bounds()
+        node, path = self.root, []
+        while not node.is_leaf:
+            path.append(node)
+            grow_left = (node.left.bounds.union(bounds).surface_area()
+                         - node.left.bounds.surface_area())
+            grow_right = (node.right.bounds.union(bounds).surface_area()
+                          - node.right.bounds.surface_area())
+            node = node.left if grow_left <= grow_right else node.right
+        prim_index = len(self.primitives)
+        self.primitives.append(prim)
+        self._prim_bounds.append(bounds)
+        pos = node.first_prim + node.prim_count
+        self._prim_order.insert(pos, prim_index)
+        node.prim_count += 1
+        for other in self.nodes():
+            if other.is_leaf and other is not node and other.first_prim >= pos:
+                other.first_prim += 1
+        for ancestor in path:
+            ancestor.bounds = ancestor.bounds.union(bounds)
+        node.bounds = node.bounds.union(bounds)
+        self._invalidate()
+        return len(path) + 1
+
+    def remove(self, prim_id: int) -> int:
+        """Online delete: drop the primitive from its leaf's slice.
+
+        The primitive stays in ``primitives`` as an unreachable
+        tombstone (slice indexes stay stable); bounds are left loose.
+        Returns the number of nodes touched.
+        """
+        pos = None
+        for k, i in enumerate(self._prim_order):
+            if self.primitives[i].prim_id == prim_id:
+                pos = k
+                break
+        if pos is None:
+            raise KeyError(f"prim_id {prim_id} not live in BVH")
+        leaf = None
+        for node in self.nodes():
+            if node.is_leaf and node.first_prim <= pos < (node.first_prim
+                                                          + node.prim_count):
+                leaf = node
+                break
+        self._prim_order.pop(pos)
+        leaf.prim_count -= 1
+        for other in self.nodes():
+            if other.is_leaf and other is not leaf and other.first_prim > pos:
+                other.first_prim -= 1
+        self._invalidate()
+        return 1
+
+    def update(self, prim_id: int, prim) -> int:
+        """Online update: replace a live primitive in place.
+
+        The slot keeps its position in the leaf; path bounds are grown
+        to cover the new extent while the old extent stays covered
+        (conservative, so results remain exact until the next refit).
+        """
+        pos = None
+        for k, i in enumerate(self._prim_order):
+            if self.primitives[i].prim_id == prim_id:
+                pos, prim_index = k, i
+                break
+        if pos is None:
+            raise KeyError(f"prim_id {prim_id} not live in BVH")
+        self.primitives[prim_index] = prim
+        bounds = prim.bounds()
+        self._prim_bounds[prim_index] = bounds
+        touched = self._grow_path(self.root, pos, bounds)
+        self._invalidate()
+        return touched
+
+    def _grow_path(self, node: BVHNode, pos: int, bounds: AABB) -> int:
+        """Union ``bounds`` into every node on the path to slice ``pos``."""
+        node.bounds = node.bounds.union(bounds)
+        if node.is_leaf:
+            return 1
+        # Leaf slices are laid out in-order, so the left subtree covers a
+        # contiguous prefix of positions.
+        left_end = self._subtree_end(node.left)
+        child = node.left if pos < left_end else node.right
+        return 1 + self._grow_path(child, pos, bounds)
+
+    @staticmethod
+    def _subtree_end(node: BVHNode) -> int:
+        while not node.is_leaf:
+            node = node.right
+        return node.first_prim + node.prim_count
+
+    def refit(self) -> int:
+        """Recompute exact bounds bottom-up without restructuring.
+
+        This is the per-frame BVH refit of the RT pipelines: leaf boxes
+        are rebuilt from their (live) primitives, inner boxes from their
+        children.  Returns the number of nodes touched — the quantity
+        the cycle model charges.
+        """
+        def rec(node: BVHNode) -> int:
+            if node.is_leaf:
+                node.bounds = self._range_bounds(node.first_prim,
+                                                 node.prim_count)
+                return 1
+            touched = rec(node.left) + rec(node.right)
+            node.bounds = node.left.bounds.union(node.right.bounds)
+            return touched + 1
+
+        touched = rec(self.root)
+        self._invalidate()
+        return touched
+
+    def live_prim_ids(self) -> List[int]:
+        """The prim_ids still reachable from a leaf slice."""
+        return [self.primitives[i].prim_id for i in self._prim_order]
+
     # -- access ---------------------------------------------------------------
     def soa(self) -> BVHArrays:
-        """The struct-of-arrays view, materialized once and cached.
+        """The struct-of-arrays view, cached per mutation epoch.
 
-        Trees are build-once, so the view never invalidates; callers in
-        the kernels/workloads feed its columns to the batch geometry
-        tests instead of walking ``BVHNode`` objects scalar-style.
+        Mutations (insert/remove/update/refit) bump ``mutation_epoch``,
+        so a stale view is rebuilt on next access instead of silently
+        serving pre-mutation bounds; callers in the kernels/workloads
+        feed its columns to the batch geometry tests instead of walking
+        ``BVHNode`` objects scalar-style.
         """
-        if getattr(self, "_soa", None) is None:
-            # getattr guards trees unpickled from caches written before
-            # this attribute existed.
+        # getattr guards trees unpickled from caches written before
+        # these attributes existed.
+        epoch = getattr(self, "mutation_epoch", 0)
+        if getattr(self, "_soa", None) is None \
+                or getattr(self, "_soa_epoch", 0) != epoch:
             self._soa = BVHArrays(self)
+            self._soa_epoch = epoch
         return self._soa
 
     def leaf_prims(self, node: BVHNode) -> List:

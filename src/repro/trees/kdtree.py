@@ -75,6 +75,12 @@ class KDTree:
         self.max_leaf_size = max_leaf_size
         order = list(range(len(self.points)))
         self.root = self._build(order, depth=0)
+        #: bumped by every mutating operation; derived views (memory
+        #: images, lowered jobs) key their validity on it.
+        self.mutation_epoch = 0
+        #: tombstoned point ids — slots in ``points`` no leaf references.
+        self._deleted: set = set()
+        self._leaf_of: Optional[dict] = None
 
     def _build(self, order: List[int], depth: int) -> KDNode:
         node = KDNode()
@@ -90,6 +96,106 @@ class KDTree:
         node.left = self._build(order[:mid], depth + 1)
         node.right = self._build(order[mid:], depth + 1)
         return node
+
+    @classmethod
+    def rebuilt(cls, points: Sequence[Vec3], live_ids: Sequence[int],
+                max_leaf_size: int = 8, dims: int = 3) -> "KDTree":
+        """A fresh balanced build over the live subset of ``points``.
+
+        Point ids stay stable across the rebuild: the new tree shares
+        the full (tombstoned) point list and only threads the live ids
+        through ``_build``, so callers' ids survive arbitrarily many
+        churn/rebuild cycles.
+        """
+        live = sorted(set(live_ids))
+        if not live:
+            raise ConfigurationError("rebuild needs at least one live point")
+        tree = cls.__new__(cls)
+        tree.points = list(points)
+        tree.dims = dims
+        tree.max_leaf_size = max_leaf_size
+        tree.root = tree._build(live, depth=0)
+        tree.mutation_epoch = 0
+        tree._deleted = set(range(len(tree.points))) - set(live)
+        tree._leaf_of = None
+        return tree
+
+    # -- online mutation --------------------------------------------------------
+    #
+    # Inserts route ``component <= split -> left``, matching the build's
+    # ``order[:mid]`` partition, so the kNN prune invariant (far-side
+    # points are at least ``|delta|`` away along the split axis) is
+    # preserved.  Leaves overgrow ``max_leaf_size`` instead of
+    # splitting — the decay a rebuild later repairs.
+
+    def _invalidate(self) -> None:
+        self.mutation_epoch = getattr(self, "mutation_epoch", 0) + 1
+
+    def _deleted_set(self) -> set:
+        if getattr(self, "_deleted", None) is None:
+            self._deleted = set()
+        return self._deleted
+
+    def _leaf_map(self) -> dict:
+        if getattr(self, "_leaf_of", None) is None:
+            self._leaf_of = {}
+            for node in self.nodes():
+                if node.is_leaf:
+                    for pid in node.point_ids:
+                        self._leaf_of[pid] = node
+        return self._leaf_of
+
+    def insert_point(self, point: Vec3) -> int:
+        """Online insert; returns the new point's stable id."""
+        pid = len(self.points)
+        self.points.append(point)
+        node = self.root
+        depth_touched = 1
+        while not node.is_leaf:
+            node = (node.left if point.component(node.axis) <= node.split
+                    else node.right)
+            depth_touched += 1
+        node.points.append(point)
+        node.point_ids.append(pid)
+        self._leaf_map()[pid] = node
+        self._invalidate()
+        return pid
+
+    def delete_point(self, pid: int) -> int:
+        """Online delete; the slot in ``points`` becomes a tombstone."""
+        if pid in self._deleted_set() or not 0 <= pid < len(self.points):
+            raise KeyError(f"point id {pid} not live in k-d tree")
+        leaf = self._leaf_map().get(pid)
+        if leaf is None:
+            raise KeyError(f"point id {pid} not live in k-d tree")
+        at = leaf.point_ids.index(pid)
+        leaf.point_ids.pop(at)
+        leaf.points.pop(at)
+        del self._leaf_of[pid]
+        self._deleted_set().add(pid)
+        self._invalidate()
+        return 1
+
+    def live_point_ids(self) -> List[int]:
+        dead = self._deleted_set()
+        return [i for i in range(len(self.points)) if i not in dead]
+
+    @property
+    def n_live(self) -> int:
+        return len(self.points) - len(self._deleted_set())
+
+    def refit(self) -> int:
+        """Structural maintenance pass (k-d nodes store no bounds).
+
+        k-d inner nodes hold split planes, which stay exact under
+        insert/delete, so there is nothing to recompute — the pass
+        exists so the scheduler charges the same bookkeeping sweep the
+        other trees pay; only a rebuild restores balance/fill quality.
+        Returns the number of nodes touched.
+        """
+        touched = len(self.nodes())
+        self._invalidate()
+        return touched
 
     def nodes(self) -> List[KDNode]:
         out, frontier = [], [self.root]
@@ -146,9 +252,13 @@ class KDTree:
                          tuple(visits))
 
     def brute_force_knn(self, query: Vec3, k: int) -> Tuple[int, ...]:
-        """Golden reference: full scan."""
+        """Golden reference: full scan over the live points."""
+        # getattr guards trees unpickled from caches written before
+        # tombstones existed; the empty tuple keeps the unmutated path
+        # identical to the historical full scan.
+        dead = getattr(self, "_deleted", None) or ()
         scored = sorted(
             ((p - query).length_squared(), i)
-            for i, p in enumerate(self.points)
+            for i, p in enumerate(self.points) if i not in dead
         )
         return tuple(i for _d, i in scored[:k])

@@ -101,6 +101,9 @@ class RTree:
         self.min_entries = max(2, max_entries // 3)
         self.root = RTreeNode()
         self._count = 0
+        #: bumped by every mutating operation; derived views (memory
+        #: images, lowered jobs) key their validity on it.
+        self.mutation_epoch = 0
 
     def __len__(self) -> int:
         return self._count
@@ -138,6 +141,7 @@ class RTree:
         leaf.entries.append(entry)
         self._count += 1
         self._adjust(path + [leaf])
+        self.mutation_epoch = getattr(self, "mutation_epoch", 0) + 1
 
     def _choose_leaf(self, rect: AABB) -> Tuple[RTreeNode, List[RTreeNode]]:
         node, path = self.root, []
@@ -214,6 +218,75 @@ class RTree:
         node.recompute_mbr()
         sibling.recompute_mbr()
         return sibling
+
+    # -- deletion (Guttman CondenseTree) --------------------------------------
+    def delete(self, data_id: int, rect: AABB = None) -> None:
+        """Remove one data rectangle, condensing underfull nodes.
+
+        ``rect`` (when known) guides the leaf search along overlapping
+        MBRs; without it the search degenerates to a full scan.  Nodes
+        that drop below the minimum fill are dissolved and their
+        surviving entries reinserted from the top — Guttman's
+        CondenseTree, the piece that keeps churned R-Trees within the
+        structural invariants the property tests assert.
+        """
+        path: List[RTreeNode] = []
+        leaf = self._find_leaf(self.root, data_id, rect, path)
+        if leaf is None:
+            raise KeyError(f"data_id {data_id} not in R-Tree")
+        leaf.entries = [e for e in leaf.entries if e.data_id != data_id]
+        self._count -= 1
+        orphans: List[RectEntry] = []
+        chain = path + [leaf]
+        for depth in range(len(chain) - 1, 0, -1):
+            node, parent = chain[depth], chain[depth - 1]
+            if node.width < self.min_entries:
+                parent.children.remove(node)
+                self._collect_entries(node, orphans)
+            else:
+                node.recompute_mbr()
+        self.root.recompute_mbr()
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        for entry in orphans:
+            # ``insert`` re-increments the count; the orphan was never
+            # logically removed.
+            self._count -= 1
+            self.insert(entry.rect, entry.data_id)
+        self.mutation_epoch = getattr(self, "mutation_epoch", 0) + 1
+
+    def _find_leaf(self, node: RTreeNode, data_id: int, rect,
+                   path: List[RTreeNode]):
+        """DFS for the leaf holding ``data_id``; fills ``path`` with its
+        ancestors (root first)."""
+        if node.is_leaf:
+            if any(e.data_id == data_id for e in node.entries):
+                return node
+            return None
+        path.append(node)
+        for child in node.children:
+            if rect is None or _overlaps(child.mbr, rect):
+                found = self._find_leaf(child, data_id, rect, path)
+                if found is not None:
+                    return found
+        path.pop()
+        return None
+
+    def _collect_entries(self, node: RTreeNode,
+                         out: List[RectEntry]) -> None:
+        if node.is_leaf:
+            out.extend(node.entries)
+        else:
+            for child in node.children:
+                self._collect_entries(child, out)
+
+    def entries_in_order(self) -> List[RectEntry]:
+        """Every live data entry (leaf scan, BFS order)."""
+        out: List[RectEntry] = []
+        for node in self.nodes():
+            if node.is_leaf:
+                out.extend(node.entries)
+        return out
 
     # -- STR bulk loading ---------------------------------------------------------
     @classmethod

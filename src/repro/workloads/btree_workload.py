@@ -8,7 +8,7 @@ membership.
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.kernels.btree_search import BTreeKernelArgs, build_btree_jobs
@@ -42,6 +42,9 @@ class BTreeWorkload:
         default_factory=dict, init=False, repr=False, compare=False)
     _stream_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False)
+    #: bumped by every image refresh after structural mutation; the exec
+    #: build cache refuses to persist a workload with nonzero epoch.
+    mutation_epoch: int = field(default=0, init=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> BTreeKernelArgs:
         return BTreeKernelArgs(
@@ -67,11 +70,15 @@ class BTreeWorkload:
 
 def make_btree_workload(variant: str = "btree", n_keys: int = 16_384,
                         n_queries: int = 8_192, seed: int = 0,
-                        hit_fraction: float = 0.5) -> BTreeWorkload:
+                        hit_fraction: float = 0.5,
+                        churn: Optional[str] = None) -> BTreeWorkload:
     """Build a tree of ``n_keys`` random keys plus a random query stream.
 
     ``hit_fraction`` of the queries are present keys; the rest miss, as
-    with the paper's uniformly random key queries.
+    with the paper's uniformly random key queries.  ``churn`` (a
+    ``<mix>@<writes>`` spec, see :func:`repro.mutation.parse_churn`)
+    pre-ages the tree with a seeded write burst — the campaign axis for
+    measuring decayed-index serving.
     """
     if variant not in VARIANTS:
         raise ConfigurationError(
@@ -101,8 +108,12 @@ def make_btree_workload(variant: str = "btree", n_keys: int = 16_384,
     image = space.place_tree(tree.nodes())
     query_buf = space.alloc(4 * n_queries, align=128)
     result_buf = space.alloc(4 * n_queries, align=128)
-    return BTreeWorkload(variant, tree, image, queries, golden, space,
-                         query_buf, result_buf)
+    workload = BTreeWorkload(variant, tree, image, queries, golden, space,
+                             query_buf, result_buf)
+    if churn is not None:
+        from repro.mutation import apply_churn
+        apply_churn(workload, "point", churn, seed=seed + 7)
+    return workload
 
 
 def verify_results(workload: BTreeWorkload, results: Dict[int, bool]) -> None:

@@ -2,7 +2,7 @@
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.geometry.vec import Vec3
@@ -29,6 +29,9 @@ class KNNWorkload:
         default_factory=dict, init=False, repr=False, compare=False)
     _stream_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False)
+    #: bumped by every image refresh after structural mutation; the exec
+    #: build cache refuses to persist a workload with nonzero epoch.
+    mutation_epoch: int = field(default=0, init=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> KNNKernelArgs:
         return KNNKernelArgs(
@@ -57,8 +60,10 @@ class KNNWorkload:
 
 
 def make_knn_workload(n_points: int = 8192, n_queries: int = 1024,
-                      k: int = 8, seed: int = 0,
-                      max_leaf_size: int = 8) -> KNNWorkload:
+                      k: int = 8, seed: int = 0, max_leaf_size: int = 8,
+                      churn: Optional[str] = None) -> KNNWorkload:
+    """``churn`` (``<mix>@<writes>``) pre-ages the tree with a seeded
+    write burst before serving — see :mod:`repro.mutation`."""
     if k < 1 or k > n_points:
         raise ConfigurationError("need 1 <= k <= n_points")
     points = synth_lidar_cloud(n_points, seed=seed)
@@ -70,4 +75,9 @@ def make_knn_workload(n_points: int = 8192, n_queries: int = 1024,
     image = space.place_tree(tree.nodes())
     query_buf = space.alloc(12 * n_queries, align=128)
     result_buf = space.alloc(4 * k * n_queries, align=128)
-    return KNNWorkload(tree, queries, k, image, space, query_buf, result_buf)
+    workload = KNNWorkload(tree, queries, k, image, space, query_buf,
+                           result_buf)
+    if churn is not None:
+        from repro.mutation import apply_churn
+        apply_churn(workload, "knn", churn, seed=seed + 7)
+    return workload

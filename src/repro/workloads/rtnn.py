@@ -46,6 +46,13 @@ class RTNNWorkload:
         default_factory=dict, init=False, repr=False, compare=False)
     _points_soa: Optional[np.ndarray] = field(
         default=None, init=False, repr=False, compare=False)
+    #: prim_ids deleted by online mutation; tombstoned in ``points`` so
+    #: ids stay stable, filtered out of golden results.
+    _dead_points: set = field(
+        default_factory=set, init=False, repr=False, compare=False)
+    #: bumped by every image refresh after structural mutation; the exec
+    #: build cache refuses to persist a workload with nonzero epoch.
+    mutation_epoch: int = field(default=0, init=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> RadiusKernelArgs:
         return RadiusKernelArgs(
@@ -81,7 +88,11 @@ class RTNNWorkload:
             soa = self._points_soa = points_soa(self.points)
         q = np.array((query.x, query.y, query.z), dtype=np.float64)
         mask = point_distance_below_batch(q, soa, self.radius)
-        return tuple(np.flatnonzero(mask).tolist())
+        ids = np.flatnonzero(mask).tolist()
+        dead = self._dead_points
+        if dead:
+            ids = [i for i in ids if i not in dead]
+        return tuple(ids)
 
     def trace(self, query: Vec3):
         return radius_query(self.bvh, query, self.radius)
@@ -89,7 +100,10 @@ class RTNNWorkload:
 
 def make_rtnn_workload(n_points: int = 4096, n_queries: int = 512,
                        radius: float = 1.0, seed: int = 0,
-                       max_leaf_size: int = 4) -> RTNNWorkload:
+                       max_leaf_size: int = 4,
+                       churn: Optional[str] = None) -> RTNNWorkload:
+    """``churn`` (``<mix>@<writes>``) pre-ages the BVH with a seeded
+    write burst before serving — see :mod:`repro.mutation`."""
     if n_queries < 1:
         raise ConfigurationError("need at least one query")
     points = synth_lidar_cloud(n_points, seed=seed)
@@ -102,5 +116,9 @@ def make_rtnn_workload(n_points: int = 4096, n_queries: int = 512,
     image = space.place_tree(bvh.nodes())
     query_buf = space.alloc(12 * n_queries, align=128)
     result_buf = space.alloc(4 * n_queries, align=128)
-    return RTNNWorkload(points, radius, bvh, image, space, queries,
-                        query_buf, result_buf)
+    workload = RTNNWorkload(points, radius, bvh, image, space, queries,
+                            query_buf, result_buf)
+    if churn is not None:
+        from repro.mutation import apply_churn
+        apply_churn(workload, "radius", churn, seed=seed + 7)
+    return workload

@@ -8,7 +8,7 @@ overlap scan.
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.geometry.aabb import AABB
@@ -34,6 +34,9 @@ class RTreeWorkload:
         default_factory=dict, init=False, repr=False, compare=False)
     _stream_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False)
+    #: bumped by every image refresh after structural mutation; the exec
+    #: build cache refuses to persist a workload with nonzero epoch.
+    mutation_epoch: int = field(default=0, init=False, compare=False)
 
     def kernel_args(self, jobs: Sequence[TraversalJob] = ()) -> RTreeKernelArgs:
         return RTreeKernelArgs(
@@ -69,9 +72,13 @@ class RTreeWorkload:
 
 def make_rtree_workload(n_rects: int = 8192, n_queries: int = 1024,
                         seed: int = 0, span: float = 1000.0,
-                        window_size: float = 12.0,
-                        n_clusters: int = 32) -> RTreeWorkload:
-    """Clustered rectangles + small query windows, STR bulk-loaded."""
+                        window_size: float = 12.0, n_clusters: int = 32,
+                        churn: Optional[str] = None) -> RTreeWorkload:
+    """Clustered rectangles + small query windows, STR bulk-loaded.
+
+    ``churn`` (``<mix>@<writes>``) pre-ages the tree with a seeded
+    write burst before serving — see :mod:`repro.mutation`.
+    """
     if n_rects < 4:
         raise ConfigurationError("need at least 4 rectangles")
     rng = random.Random(seed)
@@ -104,5 +111,9 @@ def make_rtree_workload(n_rects: int = 8192, n_queries: int = 1024,
     image = space.place_tree(tree.nodes())
     query_buf = space.alloc(16 * n_queries, align=128)
     result_buf = space.alloc(4 * n_queries, align=128)
-    return RTreeWorkload(tree, entries, windows, image, space,
-                         query_buf, result_buf)
+    workload = RTreeWorkload(tree, entries, windows, image, space,
+                             query_buf, result_buf)
+    if churn is not None:
+        from repro.mutation import apply_churn
+        apply_churn(workload, "range", churn, seed=seed + 7)
+    return workload

@@ -98,6 +98,78 @@ class TestRangeScan:
         assert tree.range_scan(0, 300) == list(range(1, 300, 2))
 
 
+class TestDeleteChurnSoak:
+    """Long delete-heavy churn: invariants plus fresh-build equality.
+
+    This is the serving-layer contract (MODEL.md §14) exercised at the
+    tree level: after any prefix of an online write stream, the mutated
+    tree must answer exactly like a from-scratch bulk load over the
+    same live set.
+    """
+
+    STEPS = 1200
+
+    def _soak(self, variant, seed, delete_bias):
+        tree = variant.bulk_load(list(range(0, 3000, 3)))
+        rng = random.Random(seed)
+        alive = set(tree.keys_in_order())
+        for step in range(self.STEPS):
+            if alive and rng.random() < delete_bias:
+                key = rng.choice(sorted(alive))
+                tree.delete(key)
+                alive.discard(key)
+            else:
+                key = rng.randrange(12_000)
+                if key not in alive:
+                    tree.insert(key)
+                    alive.add(key)
+            if step % 97 == 0:
+                if len(tree) > tree.order:
+                    tree.check_invariants()
+                assert tree.keys_in_order() == sorted(alive)
+        # Fresh-build oracle: bulk load over the live set answers the
+        # same membership and range questions as the churned tree.
+        oracle = variant.bulk_load(sorted(alive))
+        assert tree.keys_in_order() == oracle.keys_in_order()
+        probes = random.Random(seed + 1).sample(range(12_000), 200)
+        for key in probes:
+            assert tree.search(key).found == oracle.search(key).found
+        for lo in range(0, 12_000, 1500):
+            assert tree.range_scan(lo, lo + 1499) == \
+                oracle.range_scan(lo, lo + 1499)
+        if len(tree) > tree.order:
+            tree.check_invariants()
+
+    def test_delete_heavy_soak(self, variant):
+        self._soak(variant, seed=11, delete_bias=0.65)
+
+    def test_balanced_churn_soak(self, variant):
+        self._soak(variant, seed=12, delete_bias=0.5)
+
+    def test_mutator_soak_matches_fresh_build(self, variant):
+        """The serving-layer BTreeMutator keeps tree + golden oracle in
+        lockstep through a delete-heavy stream."""
+        from repro.harness.runner import build_workload
+        from repro.mutation import make_mutator
+
+        wl = build_workload("btree", {"n_keys": 600, "n_queries": 96,
+                                      "seed": 5})
+        if type(wl.tree) is not variant:
+            wl.tree = variant.bulk_load(wl.tree.keys_in_order())
+        mutator = make_mutator("point", wl)
+        rng = random.Random(31)
+        ops = ["delete", "delete", "insert", "update"]
+        for step in range(500):
+            mutator.apply(ops[step % len(ops)], rng)
+        fresh = mutator.fresh_tree()
+        assert wl.tree.keys_in_order() == fresh.keys_in_order()
+        for qid, key in enumerate(wl.queries):
+            assert wl.tree.search(key).found == wl.golden[qid]
+            assert fresh.search(key).found == wl.golden[qid]
+        if len(wl.tree) > wl.tree.order:
+            wl.tree.check_invariants()
+
+
 @given(st.sets(st.integers(min_value=0, max_value=10**6), min_size=2,
                max_size=250),
        st.sampled_from(ALL_VARIANTS),

@@ -216,6 +216,15 @@ class TestServingCLI:
         (["loadtest", "--mix", "point=-1"], "--mix"),
         (["loadtest", "--shards", "-2"], "--shards"),
         (["serve", "--mix", "point=0"], "--mix"),
+        (["loadtest", "--write-mix", "zorp=1"], "--write-mix"),
+        (["loadtest", "--write-mix", "insert=oops"], "--write-mix"),
+        (["loadtest", "--write-mix", "insert=-5"], "--write-mix"),
+        (["loadtest", "--rebuild-policy", "sometimes"],
+         "--rebuild-policy"),
+        (["loadtest", "--rebuild-policy", "writes:0"],
+         "--rebuild-policy"),
+        (["loadtest", "--write-mix", "insert=1",
+          "--refit-threshold", "0"], "--refit-threshold"),
     ])
     def test_validation_catches_bad_serve_args(self, argv, fragment,
                                                capsys):
@@ -275,6 +284,34 @@ class TestServingCLI:
                 assert row["served"] > 0
                 assert {"p50_ms", "p95_ms", "p99_ms"} <= \
                     set(row["latency_ms"])
+
+    def test_write_mix_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.write_mix is None
+        assert args.rebuild_policy == "writes:256"
+        assert args.refit_threshold == 64
+        args = build_parser().parse_args(
+            ["loadtest", "--write-mix", "insert=120,delete=60",
+             "--rebuild-policy", "quality:1.3", "--refit-threshold",
+             "32"])
+        assert args.write_mix == "insert=120,delete=60"
+        assert args.rebuild_policy == "quality:1.3"
+        assert args.refit_threshold == 32
+
+    def test_loadtest_write_mix_runs(self, capsys):
+        """Mixed read/write loadtest end to end: exit 0, the latency
+        table still prints, and the mutation summary reaches stderr."""
+        code = main(["loadtest", "--platform", "tta", "--qps", "400",
+                     "--duration", "0.05", "--warmup", "0.01",
+                     "--mix", "point",
+                     "--write-mix", "insert=200,delete=100",
+                     "--rebuild-policy", "writes:48",
+                     "--refit-threshold", "16"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "p99_ms" in captured.out
+        assert "[mutation]" in captured.err
+        assert "point:" in captured.err
 
     def test_loadtest_reuses_build_cache(self, capsys):
         argv = ["loadtest", "--platform", "tta", "--qps", "400",
